@@ -1,0 +1,28 @@
+.PHONY: install test bench tables tables-full examples clean
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# Regenerate every table/figure of the paper's evaluation (quick subset).
+tables:
+	python benchmarks/run_all.py
+
+tables-full:
+	REPRO_SCALE=full python benchmarks/run_all.py
+
+examples:
+	python examples/quickstart.py
+	python examples/fault_tolerance.py
+	python examples/config_files_demo.py
+	python examples/datacenter_audit.py 2
+	python examples/hijack_hunt.py 0 130
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} +
+	rm -rf .pytest_cache .hypothesis *.egg-info src/*.egg-info

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Regenerate every table/figure of the paper's evaluation (§8).
+
+Usage::
+
+    python benchmarks/run_all.py            # quick subset
+    REPRO_SCALE=full python benchmarks/run_all.py   # the whole thing
+
+Prints the §8.1 violations table, the Figure 7 per-network series, the
+Figure 8 size sweep, and the §8.3 optimization ablation, in order.  The
+recorded outputs back EXPERIMENTS.md.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent))
+
+from benchmarks.harness import SCALE, print_table  # noqa: E402
+
+
+def main() -> None:
+    print(f"REPRO_SCALE={SCALE}")
+
+    from benchmarks.test_bench_violations import run_violation_sweep
+    counts, seeded, mismatches, n = run_violation_sweep()
+    paper = {"hijack": 67, "equivalence": 29, "blackhole": 24,
+             "fault-invariance": 0}
+    print_table(
+        f"§8.1 violations over {n} networks (paper: 120 over 152)",
+        ["check", "violations", "seeded", "paper (152 nets)"],
+        [[k, counts[k], seeded.get(k, 0), paper[k]]
+         for k in ("hijack", "equivalence", "blackhole",
+                   "fault-invariance")])
+    if mismatches:
+        print("MISMATCHES:", mismatches)
+
+    from benchmarks.test_bench_fig7_real import collect_series
+    rows = collect_series()
+    print_table(
+        "Figure 7: per-network check time (ms) by config lines",
+        ["network", "config lines", "mgmt-reach", "local-equiv",
+         "blackholes", "fault-invariance"],
+        rows)
+
+    from benchmarks.test_bench_fig8_synthetic import (
+        PROPERTIES,
+        collect_fig8,
+    )
+    rows, verdicts = collect_fig8()
+    print_table(
+        "Figure 8: verification time (ms) per property vs. size",
+        ["pods", "routers"] + PROPERTIES,
+        rows)
+    failing = {k: v for k, v in verdicts.items() if v is not True}
+    if failing:
+        print("UNEXPECTED VERDICTS:", failing)
+
+    from benchmarks.test_bench_opt_ablation import (
+        CONFIGS,
+        measure,
+        workloads,
+    )
+    ab_rows = []
+    for name, network, source, dst in workloads():
+        times = {}
+        for config_name, options in CONFIGS.items():
+            _result, seconds = measure(network, source, dst, options)
+            times[config_name] = seconds
+        ab_rows.append([
+            name,
+            f"{times['full'] * 1e3:.0f}",
+            f"{times['no-slice'] * 1e3:.0f}",
+            f"{times['naive'] * 1e3:.0f}",
+            f"{times['naive'] / max(times['no-slice'], 1e-9):.1f}x",
+            f"{times['no-slice'] / max(times['full'], 1e-9):.1f}x",
+            f"{times['naive'] / max(times['full'], 1e-9):.1f}x",
+        ])
+    print_table(
+        "§8.3 ablation (paper: hoisting ~200x avg / 460x max, "
+        "slicing ~2.3x)",
+        ["workload", "full ms", "no-slice ms", "naive ms",
+         "hoisting speedup", "slicing speedup", "total"],
+        ab_rows)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Regenerate just the figure benchmarks (no §8.1 sweep).
+
+Useful when the violations table has already been produced: runs the
+Figure 7 series (over a small sub-sample unless REPRO_SCALE=full),
+the Figure 8 sweep, and the §8.3 ablation.
+"""
+
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent))
+
+from benchmarks.harness import SCALE, is_full, print_table  # noqa: E402
+
+
+def main() -> None:
+    print(f"REPRO_SCALE={SCALE}")
+
+    import benchmarks.test_bench_fig7_real as fig7
+    if not is_full():
+        # Tighten the Figure 7 sample: one network per bug class plus two
+        # clean ones spanning the size range.
+        fig7.cloud_indices = lambda: [0, 69, 100, 121, 130, 11]
+
+    from benchmarks.test_bench_fig7_real import collect_series
+    rows = collect_series()
+    print_table(
+        "Figure 7: per-network check time (ms) by config lines",
+        ["network", "config lines", "mgmt-reach", "local-equiv",
+         "blackholes", "fault-invariance"],
+        rows)
+
+    from benchmarks.test_bench_fig8_synthetic import (
+        PROPERTIES,
+        collect_fig8,
+    )
+    rows, verdicts = collect_fig8()
+    print_table(
+        "Figure 8: verification time (ms) per property vs. size",
+        ["pods", "routers"] + PROPERTIES,
+        rows)
+    failing = {k: v for k, v in verdicts.items() if v is not True}
+    if failing:
+        print("UNEXPECTED VERDICTS:", failing)
+
+    from benchmarks.test_bench_opt_ablation import (
+        CONFIGS,
+        measure,
+        workloads,
+    )
+    ab_rows = []
+    for name, network, source, dst in workloads():
+        times = {}
+        for config_name, options in CONFIGS.items():
+            _result, seconds = measure(network, source, dst, options)
+            times[config_name] = seconds
+        ab_rows.append([
+            name,
+            f"{times['full'] * 1e3:.0f}",
+            f"{times['no-slice'] * 1e3:.0f}",
+            f"{times['naive'] * 1e3:.0f}",
+            f"{times['naive'] / max(times['no-slice'], 1e-9):.1f}x",
+            f"{times['no-slice'] / max(times['full'], 1e-9):.1f}x",
+            f"{times['naive'] / max(times['full'], 1e-9):.1f}x",
+        ])
+    print_table(
+        "§8.3 ablation (paper: hoisting ~200x avg / 460x max, "
+        "slicing ~2.3x)",
+        ["workload", "full ms", "no-slice ms", "naive ms",
+         "hoisting speedup", "slicing speedup", "total"],
+        ab_rows)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Minimal table run for constrained environments (single-core boxes):
+two networks per §8.1 bug class, the 2-pod Figure 8 point, and the small
+ablation workloads.  Same harnesses as run_all.py, smallest inputs.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent))
+
+from benchmarks.harness import print_table  # noqa: E402
+
+
+def main() -> None:
+    import benchmarks.test_bench_violations as violations
+    violations.cloud_indices = lambda: [0, 5, 68, 69, 100, 101, 121, 130]
+    counts, seeded, mismatches, n = violations.run_violation_sweep()
+    paper = {"hijack": 67, "equivalence": 29, "blackhole": 24,
+             "fault-invariance": 0}
+    print_table(
+        f"§8.1 violations over {n} networks (paper: 120 over 152)",
+        ["check", "violations", "seeded", "paper (152 nets)"],
+        [[k, counts[k], seeded.get(k, 0), paper[k]]
+         for k in ("hijack", "equivalence", "blackhole",
+                   "fault-invariance")])
+    if mismatches:
+        print("MISMATCHES:", mismatches)
+
+    import benchmarks.test_bench_fig7_real as fig7
+    fig7.cloud_indices = lambda: [0, 69, 101, 121]
+    rows = fig7.collect_series()
+    print_table(
+        "Figure 7: per-network check time (ms) by config lines",
+        ["network", "config lines", "mgmt-reach", "local-equiv",
+         "blackholes", "fault-invariance"],
+        rows)
+
+    import benchmarks.test_bench_fig8_synthetic as fig8
+    import benchmarks.harness as harness
+    fig8.fattree_pods = lambda: [2, 4]
+    rows, verdicts = fig8.collect_fig8()
+    print_table(
+        "Figure 8: verification time (ms) per property vs. size",
+        ["pods", "routers"] + fig8.PROPERTIES,
+        rows)
+    failing = {k: v for k, v in verdicts.items() if v is not True}
+    if failing:
+        print("UNEXPECTED VERDICTS:", failing)
+
+    from benchmarks.test_bench_opt_ablation import CONFIGS, measure
+    from repro.gen import build_cloud_network, build_fattree
+    tree = build_fattree(2)
+    cloud = build_cloud_network(121)
+    workloads = [
+        ("fattree-2", tree.network, tree.tors[0],
+         tree.tor_subnet(tree.tors[-1])),
+        (cloud.name, cloud.network, cloud.network.router_names()[0],
+         cloud.management_prefixes[0]),
+    ]
+    ab_rows = []
+    for name, network, source, dst in workloads:
+        times = {}
+        for config_name, options in CONFIGS.items():
+            _result, seconds = measure(network, source, dst, options)
+            times[config_name] = seconds
+        ab_rows.append([
+            name,
+            f"{times['full'] * 1e3:.0f}",
+            f"{times['no-slice'] * 1e3:.0f}",
+            f"{times['naive'] * 1e3:.0f}",
+            f"{times['naive'] / max(times['no-slice'], 1e-9):.1f}x",
+            f"{times['no-slice'] / max(times['full'], 1e-9):.1f}x",
+            f"{times['naive'] / max(times['full'], 1e-9):.1f}x",
+        ])
+    print_table(
+        "§8.3 ablation (paper: hoisting ~200x avg / 460x max, "
+        "slicing ~2.3x)",
+        ["workload", "full ms", "no-slice ms", "naive ms",
+         "hoisting speedup", "slicing speedup", "total"],
+        ab_rows)
+
+
+if __name__ == "__main__":
+    main()

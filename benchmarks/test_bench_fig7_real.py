@@ -1,0 +1,68 @@
+"""Figure 7: verification time vs. lines of configuration (four panels).
+
+The paper plots per-network verification time for management-interface
+reachability, local equivalence, black holes and fault-invariance over the
+152 real networks sorted by total configuration lines (2–60 ms, 5–400 ms,
+<1 s, <1.5 s respectively on Z3).  We regenerate the same four series over
+the generated suite; absolute times scale with the pure-Python solver, but
+the orderings (equivalence > reachability; fault-invariance most
+expensive) and the growth with configuration size reproduce.
+"""
+
+import pytest
+
+from repro.gen import build_cloud_network
+
+from .checks import (
+    check_blackholes,
+    check_fault_invariance,
+    check_local_equivalence,
+    check_management_reachability,
+)
+from .harness import cloud_indices, is_full, print_table
+
+
+def collect_series():
+    rows = []
+    for index in cloud_indices():
+        cloud = build_cloud_network(index)
+        print(f"  fig7: {cloud.name}", flush=True)
+        lines = cloud.network.total_config_lines()
+        mgmt = check_management_reachability(
+            cloud, sample=None if is_full() else 1)
+        equiv = check_local_equivalence(cloud, pairs_per_role=1)
+        holes = check_blackholes(cloud)
+        fi = check_fault_invariance(cloud)
+        rows.append((cloud.name, lines,
+                     round(mgmt.seconds * 1e3, 1),
+                     round(equiv.seconds * 1e3, 1),
+                     round(holes.seconds * 1e3, 1),
+                     round(fi.seconds * 1e3, 1)))
+    rows.sort(key=lambda r: r[1])
+    return rows
+
+
+def test_fig7_series(capsys):
+    rows = collect_series()
+    with capsys.disabled():
+        print_table(
+            "Figure 7: per-network check time (ms) by config lines",
+            ["network", "config lines", "mgmt-reach", "local-equiv",
+             "blackholes", "fault-invariance"],
+            rows)
+    # Sanity on the figure's shape: all four checks complete, and time
+    # correlates with size (largest network slower than smallest for the
+    # blackhole panel, which is a single query per network).
+    assert rows
+    if len(rows) >= 4:
+        small = rows[0]
+        large = rows[-1]
+        assert large[4] >= small[4]
+
+
+@pytest.mark.benchmark(group="fig7")
+@pytest.mark.parametrize("index", [0, 100, 130])
+def test_benchmark_blackhole_check(benchmark, index):
+    cloud = build_cloud_network(index)
+    benchmark.pedantic(lambda: check_blackholes(cloud),
+                       rounds=1, iterations=1)

@@ -1,0 +1,119 @@
+"""Figure 8: verification time vs. data-center size for eight properties.
+
+The paper sweeps folded-Clos BGP data centers from 5 to 405 routers
+(2 to 18 pods) and reports per-property verification time for:
+no-blackholes, multipath consistency, local consistency (spine
+equivalence), single-/all-ToR reachability, single-/all-ToR bounded path
+length, and equal-length within a pod.  We sweep the pod counts selected
+by REPRO_SCALE with identical per-property queries; the paper's shape to
+reproduce: blackholes/multipath cheap-ish, reachability and path-length
+most expensive, and all-ToR ≈ single-ToR cost (one graph query, not N).
+"""
+
+import time
+
+import pytest
+
+from repro import Verifier
+from repro.core import properties as P
+from repro.gen import build_fattree
+
+from .harness import fattree_pods, print_table
+
+PROPERTIES = [
+    "no-blackholes",
+    "multipath-consistency",
+    "local-consistency",
+    "single-tor-reach",
+    "all-tor-reach",
+    "single-tor-bounded-len",
+    "all-tor-bounded-len",
+    "equal-length-pod",
+]
+
+
+def run_property(tree, name):
+    verifier = Verifier(tree.network)
+    dst_tor = tree.tors[-1]
+    dst = tree.tor_subnet(dst_tor)
+    other_tors = [t for t in tree.tors if t != dst_tor]
+    start = time.perf_counter()
+    if name == "no-blackholes":
+        result = verifier.verify(P.NoBlackHoles(
+            allowed=tree.cores, dest_prefix_text=dst))
+    elif name == "multipath-consistency":
+        result = verifier.verify(P.MultipathConsistency(
+            dest_prefix_text=dst))
+    elif name == "local-consistency":
+        # Chained pairwise spine equivalence (n-1 queries, like §8.2).
+        result = None
+        for a, b in zip(tree.cores, tree.cores[1:]):
+            result = verifier.verify_local_equivalence(a, b)
+            if result.holds is False:
+                break
+        if result is None:  # single spine
+            from repro.core.verifier import VerificationResult
+            result = VerificationResult("LocalEquivalence", True)
+    elif name == "single-tor-reach":
+        result = verifier.verify(P.Reachability(
+            sources=[other_tors[0]], dest_prefix_text=dst))
+    elif name == "all-tor-reach":
+        result = verifier.verify(P.Reachability(
+            sources=other_tors, dest_prefix_text=dst))
+    elif name == "single-tor-bounded-len":
+        result = verifier.verify(P.BoundedPathLength(
+            sources=[other_tors[0]], bound=4, dest_prefix_text=dst))
+    elif name == "all-tor-bounded-len":
+        result = verifier.verify(P.BoundedPathLength(
+            sources=other_tors, bound=4, dest_prefix_text=dst))
+    elif name == "equal-length-pod":
+        # All ToRs of pod 0 (≠ destination pod) use equal-length paths.
+        pod0 = [t for t in tree.tors
+                if tree.pod_of(t) == 0 and t != dst_tor]
+        result = verifier.verify(P.EqualPathLengths(
+            routers=pod0, dest_prefix_text=dst))
+    else:  # pragma: no cover
+        raise ValueError(name)
+    seconds = time.perf_counter() - start
+    return result, seconds
+
+
+def collect_fig8():
+    rows = []
+    verdicts = {}
+    for pods in fattree_pods():
+        tree = build_fattree(pods)
+        row = [pods, len(tree.network.devices)]
+        for name in PROPERTIES:
+            result, seconds = run_property(tree, name)
+            verdicts[(pods, name)] = result.holds
+            row.append(round(seconds * 1e3))
+        rows.append(row)
+    return rows, verdicts
+
+
+def test_fig8_series(capsys):
+    rows, verdicts = collect_fig8()
+    with capsys.disabled():
+        print_table(
+            "Figure 8: verification time (ms) per property vs. size",
+            ["pods", "routers"] + PROPERTIES,
+            rows)
+    # All properties must HOLD on well-formed fat-trees.
+    for key, holds in verdicts.items():
+        assert holds is True, key
+    # Shape check: the graph-based all-ToR query costs the same order as
+    # the single-ToR query (within 4x), not |ToRs| times more.
+    largest = max(r[0] for r in rows)
+    row = next(r for r in rows if r[0] == largest)
+    single = row[2 + PROPERTIES.index("single-tor-reach")]
+    all_ = row[2 + PROPERTIES.index("all-tor-reach")]
+    assert all_ <= max(4 * single, single + 2000)
+
+
+@pytest.mark.benchmark(group="fig8")
+@pytest.mark.parametrize("prop", ["no-blackholes", "single-tor-reach"])
+def test_benchmark_fig8_smallest(benchmark, prop):
+    tree = build_fattree(2)
+    benchmark.pedantic(lambda: run_property(tree, prop),
+                       rounds=1, iterations=1)

@@ -1,0 +1,87 @@
+"""§8.1 violations table: four checks over the cloud-provider suite.
+
+Paper result (152 networks): 67 management-interface hijacks, 29 local
+equivalence violations, 24 black holes, 0 fault-invariance violations —
+120 violations total.  This bench runs the same four checks over the
+(sub)suite selected by REPRO_SCALE and prints the achieved counts next to
+the seeded ground truth.
+"""
+
+import pytest
+
+from repro.gen import build_cloud_network
+
+from .checks import (
+    check_blackholes,
+    check_fault_invariance,
+    check_local_equivalence,
+    check_management_reachability,
+)
+from .harness import cloud_indices, is_full, print_table
+
+
+def run_violation_sweep():
+    indices = cloud_indices()
+    counts = {"hijack": 0, "equivalence": 0, "blackhole": 0,
+              "fault-invariance": 0}
+    seeded = {"hijack": 0, "equivalence": 0, "blackhole": 0,
+              "fault-invariance": 0}
+    mismatches = []
+    for position, index in enumerate(indices):
+        cloud = build_cloud_network(index)
+        print(f"  [{position + 1}/{len(indices)}] {cloud.name} "
+              f"({len(cloud.network.devices)} routers)", flush=True)
+        sample = None if is_full() else 3
+        mgmt = check_management_reachability(cloud, sample=sample)
+        equiv = check_local_equivalence(
+            cloud, pairs_per_role=None if is_full() else 2)
+        holes = check_blackholes(cloud)
+        fi = check_fault_invariance(cloud)
+        counts["hijack"] += mgmt.violated
+        counts["equivalence"] += equiv.violated
+        counts["blackhole"] += holes.violated
+        counts["fault-invariance"] += fi.violated
+        seeded["hijack"] += cloud.seeded_hijack
+        seeded["equivalence"] += cloud.seeded_equiv_drift
+        seeded["blackhole"] += cloud.seeded_blackhole
+        for kind, got, want in (
+                ("hijack", mgmt.violated, cloud.seeded_hijack),
+                ("equivalence", equiv.violated, cloud.seeded_equiv_drift),
+                ("blackhole", holes.violated, cloud.seeded_blackhole),
+                ("fault-invariance", fi.violated, False)):
+            if got != want:
+                mismatches.append((cloud.name, kind, got, want))
+    return counts, seeded, mismatches, len(indices)
+
+
+def test_violations_table(capsys):
+    counts, seeded, mismatches, n = run_violation_sweep()
+    paper = {"hijack": 67, "equivalence": 29, "blackhole": 24,
+             "fault-invariance": 0}
+    with capsys.disabled():
+        print_table(
+            f"§8.1 violations over {n} networks "
+            f"(paper: 120 over 152)",
+            ["check", "violations", "seeded", "paper (152 nets)"],
+            [[k, counts[k], seeded.get(k, 0), paper[k]]
+             for k in ("hijack", "equivalence", "blackhole",
+                       "fault-invariance")])
+        if mismatches:
+            print("MISMATCHES:", mismatches)
+    # The detector must agree exactly with the seeded ground truth.
+    assert not mismatches
+    assert counts["fault-invariance"] == 0
+
+
+@pytest.mark.benchmark(group="violations")
+def test_benchmark_single_network_all_checks(benchmark):
+    """Timing probe: the full four-check battery on one small network."""
+    cloud = build_cloud_network(0)
+
+    def battery():
+        check_management_reachability(cloud, sample=1)
+        check_local_equivalence(cloud, pairs_per_role=1)
+        check_blackholes(cloud)
+        check_fault_invariance(cloud)
+
+    benchmark.pedantic(battery, rounds=1, iterations=1)

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""End-to-end from configuration *files*: write, load, verify.
+
+Demonstrates the full paper pipeline — Cisco-like config text in a
+directory, parsed into the vendor-independent model, verified against the
+§5 properties — including the §3 running example's prefix-list/route-map
+import policy.
+
+Run:  python examples/config_files_demo.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import Verifier, load_network
+from repro.core import properties as P
+
+R1_CONFIG = """\
+hostname R1
+!
+interface eth0
+ ip address 10.0.12.1 255.255.255.252
+!
+interface eth1
+ ip address 10.0.100.1 255.255.255.252
+!
+interface lan
+ ip address 192.168.1.1 255.255.255.0
+!
+router ospf 1
+ network 10.0.0.0 0.255.255.255 area 0
+ network 192.168.1.0 0.0.0.255 area 0
+ redistribute bgp metric 20
+!
+router bgp 65001
+ redistribute ospf
+ neighbor 10.0.100.2 remote-as 65100
+ neighbor 10.0.100.2 description upstream
+ neighbor 10.0.100.2 route-map IMPORT in
+!
+ip prefix-list SANE seq 5 deny 192.168.0.0/16 le 32
+ip prefix-list SANE seq 10 deny 10.0.0.0/8 le 32
+ip prefix-list SANE seq 15 permit 0.0.0.0/0 le 32
+!
+route-map IMPORT permit 10
+ match ip address prefix-list SANE
+ set local-preference 120
+!
+"""
+
+R2_CONFIG = """\
+hostname R2
+!
+interface eth0
+ ip address 10.0.12.2 255.255.255.252
+!
+interface lan
+ ip address 192.168.2.1 255.255.255.0
+!
+router ospf 1
+ network 10.0.0.0 0.255.255.255 area 0
+ network 192.168.2.0 0.0.0.255 area 0
+!
+"""
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = Path(tmp)
+        (directory / "r1.cfg").write_text(R1_CONFIG)
+        (directory / "r2.cfg").write_text(R2_CONFIG)
+        network = load_network(directory)
+        print(f"loaded: {network}")
+
+        verifier = Verifier(network)
+
+        # Internal subnets reach each other in every environment.
+        for prefix in ("192.168.1.0/24", "192.168.2.0/24"):
+            result = verifier.verify(P.Reachability(
+                sources="all", dest_prefix_text=prefix))
+            print(f"  all -> {prefix}: "
+                  f"{'holds' if result.holds else 'VIOLATED'} "
+                  f"({result.seconds * 1e3:.0f} ms)")
+
+        # The SANE import filter stops internal-space hijacks: even an
+        # adversarial upstream announcement cannot divert LAN traffic.
+        result = verifier.verify(P.Isolation(
+            sources=["R2"], dest_peer="upstream",
+            dest_prefix_text="192.168.1.0/24"))
+        print(f"  LAN traffic never exits upstream: "
+              f"{'holds' if result.holds else 'VIOLATED'}")
+
+        # External space does exit through the upstream when announced.
+        result = verifier.verify(
+            P.Reachability(sources=["R2"], dest_peer="upstream",
+                           dest_prefix_text="8.0.0.0/8"),
+            assumptions=[P.announces("upstream", min_length=8)])
+        print(f"  8/8 exits via upstream when announced: "
+              f"{'holds' if result.holds else 'VIOLATED'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Hunt for management-interface hijacks — the paper's headline finding.
+
+The §8.1 analysis of 152 real networks found 67 networks whose router
+management interfaces could be "hijacked": an external BGP neighbor can
+send a crafted announcement (e.g. the management /32 with a short AS
+path) that diverts management traffic out of the network.
+
+This example audits generated cloud-style networks for the same bug,
+prints the synthesized attack announcement, and *replays* it through the
+concrete control-plane simulator to demonstrate the diversion hop by hop.
+
+Run:  python examples/hijack_hunt.py [network-index ...]
+"""
+
+import sys
+
+from repro import Verifier
+from repro.core import properties as P
+from repro.core.concrete import counterexample_environment
+from repro.gen import build_cloud_network
+from repro.net import ip as iplib
+from repro.sim import DataPlane, Packet, simulate
+
+
+def audit(index: int) -> None:
+    cloud = build_cloud_network(index)
+    network = cloud.network
+    print(f"\n=== {cloud.name}: {len(network.devices)} routers, "
+          f"{network.total_config_lines()} config lines ===")
+    verifier = Verifier(network)
+    for prefix in cloud.management_prefixes:
+        result = verifier.verify(P.Reachability(
+            sources="all", dest_prefix_text=prefix))
+        if result.holds:
+            continue
+        cex = result.counterexample
+        print(f"  HIJACKABLE management interface {prefix}")
+        for ann in cex.announcements:
+            print(f"    attack: {ann}")
+        # Replay the synthesized environment through the simulator.
+        environment = counterexample_environment(cex)
+        dataplane = DataPlane(simulate(network, environment))
+        packet = Packet(dst_ip=cex.dst_ip)
+        for router in network.router_names():
+            traces = dataplane.traces(router, packet)
+            for trace in traces:
+                if trace.disposition == "exited":
+                    path = " -> ".join(trace.path)
+                    print(f"    replay: {router}: {path} "
+                          f"-> EXITS via {trace.exit_peer}")
+        return
+    print("  no hijackable management interfaces "
+          f"(checked {len(cloud.management_prefixes)})")
+
+
+def main() -> None:
+    indices = [int(a) for a in sys.argv[1:]] or [0, 130]
+    for index in indices:
+        audit(index)
+
+
+if __name__ == "__main__":
+    main()

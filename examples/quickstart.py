@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: build a small network, verify properties, read violations.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import NetworkBuilder, Verifier
+from repro.core import properties as P
+
+
+def main() -> None:
+    # A three-router OSPF triangle with one host subnet per router.
+    builder = NetworkBuilder()
+    for name in ("R1", "R2", "R3"):
+        device = builder.device(name)
+        device.enable_ospf()
+        device.ospf_network("10.0.0.0/8")
+    builder.link("R1", "R2")
+    builder.link("R2", "R3")
+    builder.link("R1", "R3", ospf_cost=5)
+    builder.device("R1").interface("hosts", "10.1.0.1/24")
+    builder.device("R3").interface("hosts", "10.3.0.1/24")
+    network = builder.build()
+
+    verifier = Verifier(network)
+
+    # 1. Reachability: every router reaches R3's subnet, in every stable
+    #    state the control plane can converge to.
+    result = verifier.verify(P.Reachability(
+        sources="all", dest_prefix_text="10.3.0.0/24"))
+    print("all -> 10.3.0.0/24:", result)
+
+    # 2. Fault tolerance: does that survive any single link failure?
+    result = verifier.verify(P.Reachability(
+        sources="all", dest_prefix_text="10.3.0.0/24"), max_failures=1)
+    print("same, under any 1 failure:", result)
+
+    # 3. A property that fails: nothing routes 172.16/16, so the verifier
+    #    produces a counterexample environment and forwarding state.
+    result = verifier.verify(P.Reachability(
+        sources=["R1"], dest_prefix_text="172.16.0.0/16"))
+    print("R1 -> 172.16.0.0/16:", result)
+    if result.counterexample:
+        print("--- counterexample ---")
+        print(result.counterexample.summary())
+
+    # 4. Structural checks: loops and black holes.
+    print(verifier.verify(P.NoForwardingLoops(
+        dest_prefix_text="10.0.0.0/8")))
+    print(verifier.verify(P.NoBlackHoles(dest_prefix_text="10.3.0.0/24")))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""Legacy setup shim.
+
+The execution environment has no `wheel` package and no network, so pip
+cannot run the PEP 660 editable-build path; with this file present,
+`pip install -e . --no-build-isolation` (or plain `pip install -e .` with
+isolation disabled via env) falls back to `setup.py develop`, which needs
+nothing beyond setuptools.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Minesweeper reproduction: SMT-based network configuration "
+        "verification (SIGCOMM 2017)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    entry_points={
+        "console_scripts": ["repro-verify=repro.cli:main"],
+    },
+)

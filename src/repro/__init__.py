@@ -1,0 +1,47 @@
+"""Minesweeper reproduction: SMT-based network configuration verification.
+
+Reimplements the system from *A General Approach to Network Configuration
+Verification* (Beckett, Gupta, Mahajan, Walker -- SIGCOMM 2017): router
+configurations are translated into a logical formula whose satisfying
+assignments are the stable states of the routing control plane; properties
+are verified by conjoining their negation and checking satisfiability.
+
+Public entry points::
+
+    from repro import load_network, Network, Verifier
+    from repro.core import properties
+
+    net = load_network("configs/")          # directory of router configs
+    verifier = Verifier(net)
+    result = verifier.verify(properties.Reachability(sources=["R3"],
+                                                     dest_router="R1"))
+    result.holds, result.counterexample
+"""
+
+import sys as _sys
+
+# Network encodings nest if-then-else chains proportionally to topology
+# diameter; bump the interpreter limit once, at import.
+if _sys.getrecursionlimit() < 100000:
+    _sys.setrecursionlimit(100000)
+
+__version__ = "1.0.0"
+
+from repro.core import (  # noqa: E402
+    EncoderOptions,
+    NetworkEncoder,
+    VerificationResult,
+    Verifier,
+)
+from repro.net import (  # noqa: E402
+    Network,
+    NetworkBuilder,
+    load_network,
+    network_from_texts,
+)
+
+__all__ = [
+    "Network", "NetworkBuilder", "load_network", "network_from_texts",
+    "Verifier", "VerificationResult", "EncoderOptions", "NetworkEncoder",
+    "__version__",
+]

@@ -1,0 +1,190 @@
+"""Command-line interface: verify configuration directories directly.
+
+Examples::
+
+    python -m repro show configs/
+    python -m repro verify configs/ reachability --sources R1 \
+        --dest-prefix 10.9.0.0/24 --max-failures 1
+    python -m repro verify configs/ blackholes --dest-prefix 10.0.0.0/8
+    python -m repro verify configs/ loops
+    python -m repro equivalence configs/ R1 R2
+    python -m repro simulate configs/ --from R1 --dst 10.9.0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import Verifier, properties as P
+from repro.net import load_network
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Minesweeper-style network configuration verification")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    show = sub.add_parser("show", help="summarize a parsed network")
+    show.add_argument("configs", help="directory of config files")
+
+    verify = sub.add_parser("verify", help="verify a property")
+    verify.add_argument("configs")
+    verify.add_argument("property",
+                        choices=["reachability", "isolation", "blackholes",
+                                 "loops", "bounded-length", "waypoint",
+                                 "prefix-leak"])
+    verify.add_argument("--sources", nargs="*", default=None,
+                        help="source routers (default: all)")
+    verify.add_argument("--dest-prefix", default=None,
+                        help="destination prefix A.B.C.D/len")
+    verify.add_argument("--dest-peer", default=None,
+                        help="destination external peer name")
+    verify.add_argument("--bound", type=int, default=4,
+                        help="hop bound for bounded-length")
+    verify.add_argument("--waypoints", nargs="*", default=[],
+                        help="waypoint chain for the waypoint property")
+    verify.add_argument("--max-leak-length", type=int, default=24)
+    verify.add_argument("--max-failures", type=int, default=0,
+                        help="verify under up to k link failures")
+    verify.add_argument("--announced-by", nargs="*", default=[],
+                        help="assume these peers announce the destination")
+
+    equiv = sub.add_parser("equivalence",
+                           help="check local equivalence of two routers")
+    equiv.add_argument("configs")
+    equiv.add_argument("router_a")
+    equiv.add_argument("router_b")
+    equiv.add_argument("--by-name", action="store_true",
+                       help="pair interfaces by name instead of position")
+
+    simulate = sub.add_parser(
+        "simulate", help="trace a packet through one concrete environment")
+    simulate.add_argument("configs")
+    simulate.add_argument("--from", dest="source", required=True)
+    simulate.add_argument("--dst", required=True)
+    simulate.add_argument("--announce", nargs=2, action="append",
+                          metavar=("PEER", "PREFIX"), default=[],
+                          help="external announcement (repeatable)")
+    simulate.add_argument("--fail", nargs=2, action="append",
+                          metavar=("A", "B"), default=[],
+                          help="failed link between two routers")
+    return parser
+
+
+def _make_property(args) -> P.Property:
+    if args.property == "reachability":
+        return P.Reachability(
+            sources=args.sources or "all",
+            dest_prefix_text=args.dest_prefix, dest_peer=args.dest_peer)
+    if args.property == "isolation":
+        return P.Isolation(
+            sources=args.sources or [],
+            dest_prefix_text=args.dest_prefix, dest_peer=args.dest_peer)
+    if args.property == "blackholes":
+        return P.NoBlackHoles(dest_prefix_text=args.dest_prefix)
+    if args.property == "loops":
+        return P.NoForwardingLoops(dest_prefix_text=args.dest_prefix)
+    if args.property == "bounded-length":
+        return P.BoundedPathLength(
+            sources=args.sources or "all", bound=args.bound,
+            dest_prefix_text=args.dest_prefix, dest_peer=args.dest_peer)
+    if args.property == "waypoint":
+        sources = args.sources or []
+        if len(sources) != 1:
+            raise SystemExit("waypoint needs exactly one --sources router")
+        return P.Waypointing(
+            source=sources[0], waypoints=args.waypoints,
+            dest_prefix_text=args.dest_prefix, dest_peer=args.dest_peer)
+    if args.property == "prefix-leak":
+        return P.NoPrefixLeak(max_length=args.max_leak_length,
+                              dest_prefix_text=args.dest_prefix)
+    raise SystemExit(f"unknown property {args.property}")
+
+
+def _cmd_show(args) -> int:
+    network = load_network(args.configs)
+    print(f"{len(network.devices)} routers, "
+          f"{len(network.internal_links())} links, "
+          f"{len(network.externals)} external peers, "
+          f"{network.total_config_lines()} config lines")
+    for name in network.router_names():
+        device = network.device(name)
+        neighbors = sorted({e.target for e in network.edges_from(name)})
+        peers = [p.name for p in network.externals_at(name)]
+        protos = ",".join(sorted(device.protocols()))
+        line = f"  {name} [{protos}] -> {', '.join(neighbors)}"
+        if peers:
+            line += f" | external: {', '.join(peers)}"
+        print(line)
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    network = load_network(args.configs)
+    verifier = Verifier(network)
+    prop = _make_property(args)
+    assumptions = [P.announces(peer) for peer in args.announced_by]
+    result = verifier.verify(prop, max_failures=args.max_failures,
+                             assumptions=assumptions)
+    print(result)
+    if result.holds is False and result.counterexample is not None:
+        print(result.counterexample.summary())
+    return 0 if result.holds else 1
+
+
+def _cmd_equivalence(args) -> int:
+    network = load_network(args.configs)
+    result = Verifier(network).verify_local_equivalence(
+        args.router_a, args.router_b,
+        iface_pairing="by-name" if args.by_name else "sorted")
+    print(result)
+    return 0 if result.holds else 1
+
+
+def _cmd_simulate(args) -> int:
+    from repro.net import ip as iplib
+    from repro.sim import (
+        DataPlane,
+        Environment,
+        ExternalAnnouncement,
+        Packet,
+        simulate,
+    )
+
+    network = load_network(args.configs)
+    announcements = [
+        ExternalAnnouncement.make(peer, prefix)
+        for peer, prefix in args.announce]
+    env = Environment.of(announcements,
+                         [tuple(pair) for pair in args.fail])
+    state = simulate(network, env)
+    if not state.converged:
+        print("warning: control plane did not converge", file=sys.stderr)
+    dataplane = DataPlane(state)
+    packet = Packet(dst_ip=iplib.parse_ip(args.dst))
+    traces = dataplane.traces(args.source, packet)
+    for trace in traces:
+        path = " -> ".join(trace.path)
+        suffix = f" via {trace.exit_peer}" if trace.exit_peer else ""
+        print(f"{path}: {trace.disposition}{suffix}")
+    return 0 if all(t.delivered for t in traces) else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "show": _cmd_show,
+        "verify": _cmd_verify,
+        "equivalence": _cmd_equivalence,
+        "simulate": _cmd_simulate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

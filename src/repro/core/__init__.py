@@ -1,0 +1,13 @@
+"""Minesweeper core: symbolic encoding, properties, verification."""
+
+from .counterexample import Counterexample, EnvAnnouncement
+from .encoder import EncodedNetwork, EncoderOptions, NetworkEncoder
+from .verifier import VerificationResult, Verifier
+from . import properties
+
+__all__ = [
+    "EncoderOptions", "NetworkEncoder", "EncodedNetwork",
+    "Verifier", "VerificationResult",
+    "Counterexample", "EnvAnnouncement",
+    "properties",
+]

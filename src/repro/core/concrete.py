@@ -1,0 +1,95 @@
+"""Bridging symbolic encodings and concrete simulator environments.
+
+Two directions:
+
+* :func:`pin_environment` — constrain an encoding's symbolic environment
+  to one concrete :class:`~repro.sim.environment.Environment` (used by the
+  encoder-vs-simulator agreement tests: with a pinned environment the
+  encoding's stable states must match the simulator's fixpoint).
+* :func:`counterexample_environment` — turn a verifier counterexample back
+  into a concrete environment, so violations can be replayed through the
+  simulator and the data plane.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.net import ip as iplib
+from repro.sim.environment import Environment, ExternalAnnouncement
+from repro.smt import Term, bv_val, eq, not_
+from .counterexample import Counterexample
+from .encoder import EncodedNetwork
+
+__all__ = ["pin_environment", "counterexample_environment"]
+
+
+def pin_environment(enc: EncodedNetwork, environment: Environment,
+                    dst_ip: int) -> List[Term]:
+    """Constraints fixing the symbolic environment to a concrete one, for
+    a concrete packet destination.
+
+    Each external peer's record is pinned to its longest announcement
+    covering ``dst_ip`` (the one longest-prefix-match forwarding would
+    use), or forced silent when none covers it.
+    """
+    constraints: List[Term] = [eq(enc.dst_ip, bv_val(dst_ip, 32))]
+    factory = enc.factory
+    for peer_name, record in enc.env.items():
+        covering = [
+            ann for ann in environment.announcements_from(peer_name)
+            if iplib.prefix_contains(ann.network, ann.length, dst_ip)
+        ]
+        if not covering:
+            constraints.append(not_(record.valid))
+            continue
+        ann = max(covering, key=lambda a: a.length)
+        constraints.append(record.valid)
+        constraints.append(eq(record.prefix_len,
+                              factory.len_const(ann.length)))
+        constraints.append(eq(record.metric,
+                              factory.metric_const(len(ann.as_path))))
+        if record.med.kind != "bvval":
+            # Sliced fields are constants the encoding never compares;
+            # pinning them would contradict for no semantic reason.
+            constraints.append(eq(record.med,
+                                  bv_val(ann.med, factory.widths.med)))
+        for name, term in record.communities.items():
+            want = name in ann.communities
+            constraints.append(term if want else not_(term))
+        if record.prefix is not None:
+            constraints.append(eq(record.prefix,
+                                  bv_val(ann.network,
+                                         factory.widths.prefix)))
+    for key, term in enc.failed.items():
+        down = environment.link_failed(*key)
+        constraints.append(term if down else not_(term))
+    for (router, peer), term in enc.failed_ext.items():
+        constraints.append(not_(term))
+    return constraints
+
+
+def counterexample_environment(cex: Counterexample) -> Environment:
+    """A concrete environment reproducing a counterexample's announcements
+    and failures (prefixes are reconstructed from the packet destination
+    and each announcement's prefix length)."""
+    # External-link failures are not a simulator concept: suppress the
+    # announcements of peers whose session link failed instead.
+    failed_peers = {pair[1] for pair in cex.failed_links
+                    if any(a.peer == pair[1] for a in cex.announcements)}
+    announcements = []
+    for ann in cex.announcements:
+        if ann.peer in failed_peers:
+            continue
+        network = iplib.network_of(cex.dst_ip, ann.prefix_length)
+        announcements.append(ExternalAnnouncement(
+            peer=ann.peer,
+            network=network,
+            length=ann.prefix_length,
+            med=ann.med,
+            as_path=tuple(64512 + i
+                          for i in range(max(ann.path_length, 1))),
+            communities=frozenset(ann.communities),
+        ))
+    failed = [tuple(pair) for pair in cex.failed_links]
+    return Environment.of(announcements, failed)

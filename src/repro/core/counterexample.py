@@ -1,0 +1,108 @@
+"""Counterexample extraction: SMT models → readable stable states."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.net import ip as iplib
+
+__all__ = ["Counterexample", "EnvAnnouncement", "extract_counterexample"]
+
+
+@dataclass
+class EnvAnnouncement:
+    """A concrete external announcement recovered from the model."""
+
+    peer: str
+    prefix_length: int
+    path_length: int
+    med: int
+    communities: Tuple[str, ...]
+
+    def __repr__(self) -> str:
+        extra = f" med={self.med}" if self.med else ""
+        comms = f" comms={list(self.communities)}" if self.communities \
+            else ""
+        return (f"{self.peer} announces dst/{self.prefix_length} "
+                f"pathlen={self.path_length}{extra}{comms}")
+
+
+@dataclass
+class Counterexample:
+    """A violating stable state: packet, environment, forwarding."""
+
+    dst_ip: int
+    src_ip: int = 0
+    protocol: int = 0
+    dst_port: int = 0
+    announcements: List[EnvAnnouncement] = field(default_factory=list)
+    failed_links: List[Tuple[str, str]] = field(default_factory=list)
+    forwarding: Dict[str, List[str]] = field(default_factory=dict)
+    delivered_at: List[str] = field(default_factory=list)
+    dropped_at: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        lines = [f"packet: dstIp={iplib.format_ip(self.dst_ip)}"]
+        if self.src_ip:
+            lines[-1] += f" srcIp={iplib.format_ip(self.src_ip)}"
+        if self.announcements:
+            lines.append("environment:")
+            lines.extend(f"  {a}" for a in self.announcements)
+        if self.failed_links:
+            lines.append(f"failed links: {self.failed_links}")
+        if self.forwarding:
+            lines.append("forwarding:")
+            for router in sorted(self.forwarding):
+                targets = ", ".join(self.forwarding[router])
+                lines.append(f"  {router} -> {targets}")
+        if self.delivered_at:
+            lines.append(f"delivered at: {sorted(self.delivered_at)}")
+        if self.dropped_at:
+            lines.append(f"null-routed at: {sorted(self.dropped_at)}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Counterexample\n{self.summary()}\n>"
+
+
+def extract_counterexample(enc, model) -> Counterexample:
+    """Interpret a satisfying model against an encoded network."""
+    packet = enc.packet
+    cex = Counterexample(
+        dst_ip=model.eval(packet.dst_ip),
+        src_ip=model.eval(packet.src_ip),
+        protocol=model.eval(packet.protocol),
+        dst_port=model.eval(packet.dst_port),
+    )
+    for peer, record in enc.env.items():
+        if not model.eval(record.valid):
+            continue
+        comms = tuple(sorted(
+            name for name, term in record.communities.items()
+            if model.eval(term)))
+        cex.announcements.append(EnvAnnouncement(
+            peer=peer,
+            prefix_length=model.eval(record.prefix_len),
+            path_length=model.eval(record.metric),
+            med=model.eval(record.med),
+            communities=comms,
+        ))
+    for key, term in enc.failed.items():
+        if model.eval(term):
+            cex.failed_links.append(key)
+    for key, term in enc.failed_ext.items():
+        if model.eval(term):
+            cex.failed_links.append(key)
+    for (router, target), edge in enc.fwd.items():
+        if model.eval(edge.data):
+            cex.forwarding.setdefault(router, []).append(target)
+    for router, term in enc.local_deliver.items():
+        if model.eval(term):
+            cex.delivered_at.append(router)
+    for router, term in enc.null_drop.items():
+        if model.eval(term):
+            cex.dropped_at.append(router)
+    for targets in cex.forwarding.values():
+        targets.sort()
+    return cex

@@ -1,0 +1,210 @@
+"""Symbolic evaluation of policies: FBM, prefix lists, route maps, ACLs.
+
+Implements the paper's §6.1 *prefix elimination* hoisting: with hoisting on,
+a filter ``P/A ge B le C`` on an advertised prefix becomes a test on the
+global symbolic destination IP (a conjunction of constant bit literals)
+plus a window test on the record's symbolic prefix length.  With hoisting
+off, records carry an explicit 32-bit prefix variable, filters test that
+variable, and validity requires the expensive symbolic first-bits-match
+constraint — the configuration the §8.3 ablation measures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.device import DeviceConfig
+from repro.net.policy import (
+    Acl,
+    AclRule,
+    DENY,
+    PERMIT,
+    PrefixList,
+    RouteMap,
+    RouteMapClause,
+)
+from repro.smt import (
+    FALSE,
+    TRUE,
+    Term,
+    and_,
+    bit,
+    bv_val,
+    eq,
+    implies,
+    ite,
+    not_,
+    or_,
+    ugt,
+    ule,
+)
+from .records import RecordFactory, SymbolicRecord
+
+__all__ = ["fbm_const", "fbm_symbolic", "prefix_list_term", "acl_term",
+           "apply_route_map", "PacketVars"]
+
+
+class PacketVars:
+    """The single symbolic packet (paper Figure 3, data-plane section)."""
+
+    def __init__(self, dst_ip: Term, src_ip: Term, protocol: Term,
+                 dst_port: Term, src_port: Term) -> None:
+        self.dst_ip = dst_ip
+        self.src_ip = src_ip
+        self.protocol = protocol
+        self.dst_port = dst_port
+        self.src_port = src_port
+
+
+def fbm_const(value: Term, network: int, length: int) -> Term:
+    """First-bits-match against a *constant* prefix: a conjunction of bit
+    literals on ``value`` (cheap — the §6.1 fast path)."""
+    parts: List[Term] = []
+    for i in range(length):
+        position = 31 - i
+        value_bit = bit(value, position)
+        if (network >> position) & 1:
+            parts.append(value_bit)
+        else:
+            parts.append(not_(value_bit))
+    return and_(*parts)
+
+
+def fbm_symbolic(prefix: Term, dst_ip: Term, length: Term) -> Term:
+    """First-bits-match with a *symbolic* length: for each bit position,
+    if the length covers it the bits must agree.  32 guarded equalities per
+    record — the expensive encoding the paper's hoisting removes."""
+    parts: List[Term] = []
+    width = length.width
+    for i in range(32):
+        position = 31 - i
+        covered = ugt(length, bv_val(i, width))
+        agree = or_(and_(bit(prefix, position), bit(dst_ip, position)),
+                    and_(not_(bit(prefix, position)),
+                         not_(bit(dst_ip, position))))
+        parts.append(implies(covered, agree))
+    return and_(*parts)
+
+
+def prefix_list_term(plist: PrefixList, record: SymbolicRecord,
+                     dst_ip: Term, hoisted: bool) -> Term:
+    """Does the prefix list permit the record's (symbolic) prefix?
+
+    First-match-wins folded right-to-left into an ite chain; implicit deny.
+    """
+    result: Term = FALSE
+    for entry in reversed(plist.entries):
+        low, high = entry.bounds()
+        width = record.prefix_len.width
+        in_window = and_(ule(bv_val(low, width), record.prefix_len),
+                         ule(record.prefix_len, bv_val(high, width)))
+        if hoisted:
+            # §6.1: the advertised prefix agrees with dstIp on the first
+            # ``entry.length`` bits (since length >= entry.length within
+            # the window), so test dstIp directly.
+            bits_ok = fbm_const(dst_ip, entry.network, entry.length)
+        else:
+            bits_ok = fbm_const(record.prefix, entry.network, entry.length)
+        matched = and_(in_window, bits_ok)
+        outcome = TRUE if entry.action == PERMIT else FALSE
+        result = ite(matched, outcome, result)
+    return result
+
+
+def acl_term(acl: Acl, packet: PacketVars) -> Term:
+    """Does the ACL permit the symbolic packet?  Implicit deny."""
+    result: Term = FALSE
+    for rule in reversed(acl.rules):
+        matched = _acl_rule_term(rule, packet)
+        outcome = TRUE if rule.action == PERMIT else FALSE
+        result = ite(matched, outcome, result)
+    return result
+
+
+def _acl_rule_term(rule: AclRule, packet: PacketVars) -> Term:
+    parts: List[Term] = [fbm_const(packet.dst_ip, rule.dst_network,
+                                   rule.dst_length)]
+    if rule.src_network is not None:
+        parts.append(fbm_const(packet.src_ip, rule.src_network,
+                               rule.src_length))
+    if rule.protocol is not None:
+        parts.append(eq(packet.protocol,
+                        bv_val(rule.protocol, packet.protocol.width)))
+    if rule.dst_port_low is not None:
+        width = packet.dst_port.width
+        high = rule.dst_port_high if rule.dst_port_high is not None \
+            else rule.dst_port_low
+        parts.append(and_(
+            ule(bv_val(rule.dst_port_low, width), packet.dst_port),
+            ule(packet.dst_port, bv_val(high, width))))
+    return and_(*parts)
+
+
+def apply_route_map(factory: RecordFactory, device: DeviceConfig,
+                    rmap: Optional[RouteMap], record: SymbolicRecord,
+                    dst_ip: Term, hoisted: bool,
+                    name: str = "rm") -> SymbolicRecord:
+    """Symbolic route-map application (paper §3 step 4, Figure 4).
+
+    Returns the transformed record; a denied route comes out with
+    ``valid = false``.  A missing map (dangling reference) denies
+    everything, mirroring the simulator.
+    """
+    if rmap is None:
+        return record
+    matched_before: Term = FALSE
+    result = factory.invalid(f"{name}.deny")
+    # Build bottom-up: later clauses are the else-branches of earlier ones.
+    transformed: List[Tuple[Term, Optional[SymbolicRecord]]] = []
+    for clause in sorted(rmap.clauses, key=lambda c: c.seq):
+        matched = _clause_match_term(clause, device, record, dst_ip, hoisted)
+        if clause.action == DENY:
+            transformed.append((matched, None))
+        else:
+            transformed.append((matched, _apply_sets(factory, clause,
+                                                     record)))
+    for matched, outcome in reversed(transformed):
+        branch = outcome if outcome is not None \
+            else factory.invalid(f"{name}.deny")
+        result = factory.record_ite(matched, branch, result, name=name)
+    # The whole map only applies to present messages.
+    return result.with_(valid=and_(record.valid, result.valid))
+
+
+def _clause_match_term(clause: RouteMapClause, device: DeviceConfig,
+                       record: SymbolicRecord, dst_ip: Term,
+                       hoisted: bool) -> Term:
+    parts: List[Term] = []
+    if clause.match_prefix_list is not None:
+        plist = device.prefix_lists.get(clause.match_prefix_list)
+        if plist is None:
+            return FALSE
+        parts.append(prefix_list_term(plist, record, dst_ip, hoisted))
+    if clause.match_community_list is not None:
+        clist = device.community_lists.get(clause.match_community_list)
+        if clist is None:
+            return FALSE
+        hit = or_(*[record.communities.get(c, FALSE)
+                    for c in clist.communities])
+        parts.append(hit if clist.action == PERMIT else not_(hit))
+    return and_(*parts)
+
+
+def _apply_sets(factory: RecordFactory, clause: RouteMapClause,
+                record: SymbolicRecord) -> SymbolicRecord:
+    updates: Dict[str, object] = {"valid": TRUE}
+    if clause.set_local_pref is not None:
+        updates["local_pref"] = factory.lp_const(clause.set_local_pref)
+    if clause.set_metric is not None:
+        updates["metric"] = factory.metric_const(clause.set_metric)
+    if clause.set_med is not None:
+        updates["med"] = bv_val(clause.set_med, factory.widths.med)
+    out = record.with_(**updates)
+    if clause.add_communities or clause.delete_communities:
+        comms = dict(out.communities)
+        for comm in clause.add_communities:
+            comms[comm] = TRUE
+        for comm in clause.delete_communities:
+            comms[comm] = FALSE
+        out = out.with_(communities=comms)
+    return out

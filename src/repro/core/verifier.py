@@ -1,0 +1,373 @@
+"""The public verification API.
+
+``Verifier.verify(property)`` translates the network plus the negated
+property into CNF and asks the CDCL core for a satisfying assignment:
+SAT means some stable state violates the property (a counterexample is
+extracted from the model), UNSAT means the property holds in every stable
+state.
+
+Also implements the §5 checks that need more than one encoding: local and
+full equivalence, fault tolerance and fault-invariance testing, and the
+lazy refinement loop for load balancing.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence
+
+from repro.net import ip as iplib
+from repro.net.topology import Network
+from repro.smt import (
+    FALSE,
+    SAT,
+    Solver,
+    Term,
+    UNKNOWN,
+    UNSAT,
+    and_,
+    iff,
+    implies,
+    not_,
+    or_,
+)
+from .counterexample import Counterexample, extract_counterexample
+from .encoder import EncodedNetwork, EncoderOptions, NetworkEncoder
+from .properties import Property, reach_instrumentation
+
+__all__ = ["Verifier", "VerificationResult"]
+
+
+@dataclass
+class VerificationResult:
+    """Outcome of one verification query."""
+
+    property_name: str
+    holds: Optional[bool]            # None = unknown (budget exhausted)
+    counterexample: Optional[Counterexample] = None
+    message: str = ""
+    seconds: float = 0.0
+    num_variables: int = 0
+    num_clauses: int = 0
+
+    def __bool__(self) -> bool:
+        return bool(self.holds)
+
+    def __repr__(self) -> str:
+        status = {True: "HOLDS", False: "VIOLATED", None: "UNKNOWN"}
+        text = status[self.holds]
+        if self.message:
+            text += f": {self.message}"
+        return f"<{self.property_name} {text} ({self.seconds * 1e3:.1f} ms)>"
+
+
+class Verifier:
+    """Verify §5 properties of a network's configurations."""
+
+    def __init__(self, network: Network,
+                 options: Optional[EncoderOptions] = None,
+                 conflict_budget: Optional[int] = None) -> None:
+        self.network = network
+        self.options = options or EncoderOptions()
+        self.conflict_budget = conflict_budget
+
+    # ------------------------------------------------------------------
+
+    def verify(self, prop: Property,
+               max_failures: Optional[int] = None,
+               assumptions: Sequence = ()) -> VerificationResult:
+        """Check a property over all stable states (and, with
+        ``max_failures=k``, all environments with at most k link failures
+        — the §5 fault-tolerance form).
+
+        ``assumptions`` are callables ``enc -> Term`` restricting the
+        environments considered (e.g. :func:`announces` to require that
+        some external peer advertises the destination).
+        """
+        start = time.perf_counter()
+        options = self.options
+        k = max(max_failures if max_failures is not None else 0,
+                prop.failures_needed, options.max_failures)
+        if k != options.max_failures:
+            options = replace(options, max_failures=k)
+        encoder = NetworkEncoder(self.network, options)
+        enc = encoder.encode(dst_prefix=prop.dst_prefix())
+        prop_term = prop.encode(enc)
+        solver = Solver(conflict_budget=self.conflict_budget)
+        solver.add(*enc.constraints)
+        for assumption in assumptions:
+            solver.add(assumption(enc))
+        if getattr(prop, "lazy", False):
+            return self._lazy_verify(prop, enc, solver, start)
+        solver.add(not_(prop_term))
+        outcome = solver.check()
+        seconds = time.perf_counter() - start
+        if outcome is UNSAT:
+            return VerificationResult(
+                property_name=type(prop).__name__, holds=True,
+                seconds=seconds, num_variables=solver.num_variables,
+                num_clauses=solver.num_clauses)
+        if outcome is UNKNOWN:
+            return VerificationResult(
+                property_name=type(prop).__name__, holds=None,
+                message="conflict budget exhausted", seconds=seconds,
+                num_variables=solver.num_variables,
+                num_clauses=solver.num_clauses)
+        model = solver.model()
+        return VerificationResult(
+            property_name=type(prop).__name__, holds=False,
+            counterexample=extract_counterexample(enc, model),
+            message=prop.describe_violation(enc, model),
+            seconds=seconds, num_variables=solver.num_variables,
+            num_clauses=solver.num_clauses)
+
+    # ------------------------------------------------------------------
+    # Lazy load-balancing loop (linear arithmetic outside the SAT core)
+    # ------------------------------------------------------------------
+
+    def _lazy_verify(self, prop, enc: EncodedNetwork, solver: Solver,
+                     start: float,
+                     max_iterations: int = 200) -> VerificationResult:
+        for _ in range(max_iterations):
+            outcome = solver.check()
+            if outcome is UNSAT:
+                return VerificationResult(
+                    property_name=type(prop).__name__, holds=True,
+                    seconds=time.perf_counter() - start,
+                    num_variables=solver.num_variables,
+                    num_clauses=solver.num_clauses)
+            if outcome is UNKNOWN:
+                break
+            model = solver.model()
+            violation = prop.check_model(enc, model)
+            if violation is not None:
+                return VerificationResult(
+                    property_name=type(prop).__name__, holds=False,
+                    counterexample=extract_counterexample(enc, model),
+                    message=violation,
+                    seconds=time.perf_counter() - start,
+                    num_variables=solver.num_variables,
+                    num_clauses=solver.num_clauses)
+            # Block this forwarding configuration and search for another
+            # stable state.
+            block = []
+            for key in enc.fwd:
+                term = enc.data_fwd(*key)
+                value = model.eval(term)
+                block.append(not_(term) if value else term)
+            if not block:
+                break
+            solver.add(or_(*block))
+        return VerificationResult(
+            property_name=type(prop).__name__, holds=None,
+            message="lazy refinement budget exhausted",
+            seconds=time.perf_counter() - start,
+            num_variables=solver.num_variables,
+            num_clauses=solver.num_clauses)
+
+    # ------------------------------------------------------------------
+    # Fault-invariance (§5): P holds with no failures iff it holds with k
+    # ------------------------------------------------------------------
+
+    def verify_fault_invariance(self, prop: Property,
+                                k: int = 1) -> VerificationResult:
+        """Check that ``prop`` holds in the failure-free network exactly
+        when it holds under any ``k`` failures (two encoding copies with a
+        shared environment)."""
+        start = time.perf_counter()
+        base_encoder = NetworkEncoder(
+            self.network, replace(self.options, max_failures=0))
+        fail_encoder = NetworkEncoder(
+            self.network, replace(self.options, max_failures=k))
+        enc0 = base_encoder.encode(dst_prefix=prop.dst_prefix(), ns="c0.")
+        enc1 = fail_encoder.encode(dst_prefix=prop.dst_prefix(), ns="c1.")
+        term0 = prop.encode(enc0)
+        term1 = prop.encode(enc1)
+        solver = Solver(conflict_budget=self.conflict_budget)
+        solver.add(*enc0.constraints)
+        solver.add(*enc1.constraints)
+        # Same packet and same external announcements in both copies.
+        solver.add(*_equate_packets(enc0, enc1))
+        solver.add(*_equate_environments(enc0, enc1))
+        solver.add(not_(iff(term0, term1)))
+        outcome = solver.check()
+        seconds = time.perf_counter() - start
+        name = f"FaultInvariance[{type(prop).__name__}, k={k}]"
+        if outcome is UNSAT:
+            return VerificationResult(property_name=name, holds=True,
+                                      seconds=seconds,
+                                      num_variables=solver.num_variables,
+                                      num_clauses=solver.num_clauses)
+        if outcome is UNKNOWN:
+            return VerificationResult(property_name=name, holds=None,
+                                      message="budget exhausted",
+                                      seconds=seconds)
+        model = solver.model()
+        failed = [key for key, term in enc1.failed.items()
+                  if model.eval(term)]
+        failed += [key for key, term in enc1.failed_ext.items()
+                   if model.eval(term)]
+        return VerificationResult(
+            property_name=name, holds=False,
+            counterexample=extract_counterexample(enc1, model),
+            message=f"behaviour differs when links {failed} fail",
+            seconds=seconds, num_variables=solver.num_variables,
+            num_clauses=solver.num_clauses)
+
+    # ------------------------------------------------------------------
+    # Pairwise fault-invariant reachability (the §8.1 check)
+    # ------------------------------------------------------------------
+
+    def verify_pairwise_fault_invariance(self, k: int = 1,
+                                         dest_prefix: Optional[str] = None,
+                                         ) -> VerificationResult:
+        """All router pairs are reachable exactly when they are reachable
+        after any single failure (the paper's fourth real-network check).
+
+        One query: reach bits are instrumented in both copies and required
+        to agree for every source.
+        """
+        start = time.perf_counter()
+        prefix = iplib.parse_prefix(dest_prefix) if dest_prefix else None
+        enc0 = NetworkEncoder(
+            self.network,
+            replace(self.options, max_failures=0)).encode(prefix, ns="c0.")
+        # Failures range over internal links: an external session flap
+        # changes the environment, not the network, and both copies share
+        # one environment (matching the paper's zero-violation finding).
+        enc1 = NetworkEncoder(
+            self.network,
+            replace(self.options, max_failures=k,
+                    fail_external=False)).encode(prefix, ns="c1.")
+        # Instrument both copies before loading the solver so the
+        # instrumentation constraints are included.
+        base0 = {r: enc0.local_deliver.get(r, FALSE) for r in enc0.routers()}
+        base1 = {r: enc1.local_deliver.get(r, FALSE) for r in enc1.routers()}
+        reach0 = reach_instrumentation(enc0, base0, tag="fi0")
+        reach1 = reach_instrumentation(enc1, base1, tag="fi1")
+        mismatch = or_(*[not_(iff(reach0[r], reach1[r]))
+                         for r in enc0.routers()])
+        solver = Solver(conflict_budget=self.conflict_budget)
+        solver.add(*enc0.constraints)
+        solver.add(*enc1.constraints)
+        solver.add(*_equate_packets(enc0, enc1))
+        solver.add(*_equate_environments(enc0, enc1))
+        solver.add(mismatch)
+        outcome = solver.check()
+        seconds = time.perf_counter() - start
+        name = f"PairwiseFaultInvariance[k={k}]"
+        if outcome is UNSAT:
+            return VerificationResult(property_name=name, holds=True,
+                                      seconds=seconds,
+                                      num_variables=solver.num_variables,
+                                      num_clauses=solver.num_clauses)
+        if outcome is UNKNOWN:
+            return VerificationResult(property_name=name, holds=None,
+                                      message="budget exhausted",
+                                      seconds=seconds)
+        model = solver.model()
+        diff = [r for r in enc0.routers()
+                if model.eval(reach0[r]) != model.eval(reach1[r])]
+        return VerificationResult(
+            property_name=name, holds=False,
+            counterexample=extract_counterexample(enc1, model),
+            message=f"reachability of {diff} changes under failure",
+            seconds=seconds, num_variables=solver.num_variables,
+            num_clauses=solver.num_clauses)
+
+    # ------------------------------------------------------------------
+    # Local equivalence (§5): isolated routers on symbolic inputs
+    # ------------------------------------------------------------------
+
+    def verify_local_equivalence(self, router_a: str, router_b: str,
+                                 iface_pairing: str = "sorted",
+                                 ) -> VerificationResult:
+        """Do two routers make identical decisions given identical
+        environments?  Encodes each router in isolation with shared
+        symbolic session inputs and a shared symbolic packet, then compares
+        forwarding decisions and exports pairwise (paper §5).
+
+        ``iface_pairing="by-name"`` restricts the ACL comparison to
+        same-named interfaces (role checks over asymmetric topologies).
+        """
+        from .equivalence import check_local_equivalence
+
+        start = time.perf_counter()
+        result = check_local_equivalence(
+            self.network, router_a, router_b,
+            options=self.options, conflict_budget=self.conflict_budget,
+            iface_pairing=iface_pairing)
+        result.seconds = time.perf_counter() - start
+        return result
+
+    # ------------------------------------------------------------------
+    # Full equivalence of two networks (§5)
+    # ------------------------------------------------------------------
+
+    def verify_full_equivalence(self, other: Network,
+                                ) -> VerificationResult:
+        """Are two whole networks behaviourally equivalent?  External
+        peers are paired by name; all data-plane forwarding decisions and
+        exports to externals must agree."""
+        start = time.perf_counter()
+        enc_a = NetworkEncoder(self.network, self.options).encode(ns="A.")
+        enc_b = NetworkEncoder(other, self.options).encode(ns="B.")
+        solver = Solver(conflict_budget=self.conflict_budget)
+        solver.add(*enc_a.constraints)
+        solver.add(*enc_b.constraints)
+        solver.add(*_equate_packets(enc_a, enc_b))
+        solver.add(*_equate_environments(enc_a, enc_b))
+        differences: List[Term] = []
+        for key in set(enc_a.fwd) | set(enc_b.fwd):
+            differences.append(not_(iff(enc_a.data_fwd(*key),
+                                        enc_b.data_fwd(*key))))
+        for key in set(enc_a.export_to_ext) & set(enc_b.export_to_ext):
+            rec_a = enc_a.export_to_ext[key]
+            rec_b = enc_b.export_to_ext[key]
+            differences.append(not_(and_(
+                *enc_a.factory.equate(rec_a, rec_b))))
+        solver.add(or_(*differences) if differences else FALSE)
+        outcome = solver.check()
+        seconds = time.perf_counter() - start
+        name = "FullEquivalence"
+        if outcome is UNSAT:
+            return VerificationResult(property_name=name, holds=True,
+                                      seconds=seconds,
+                                      num_variables=solver.num_variables,
+                                      num_clauses=solver.num_clauses)
+        if outcome is UNKNOWN:
+            return VerificationResult(property_name=name, holds=None,
+                                      message="budget exhausted",
+                                      seconds=seconds)
+        model = solver.model()
+        return VerificationResult(
+            property_name=name, holds=False,
+            counterexample=extract_counterexample(enc_a, model),
+            message="networks diverge on some packet/environment",
+            seconds=seconds, num_variables=solver.num_variables,
+            num_clauses=solver.num_clauses)
+
+
+def _equate_packets(a: EncodedNetwork, b: EncodedNetwork) -> List[Term]:
+    from repro.smt import eq
+
+    out = [eq(a.packet.dst_ip, b.packet.dst_ip)]
+    for fa, fb in ((a.packet.src_ip, b.packet.src_ip),
+                   (a.packet.protocol, b.packet.protocol),
+                   (a.packet.dst_port, b.packet.dst_port),
+                   (a.packet.src_port, b.packet.src_port)):
+        if fa.kind != "bvval" or fb.kind != "bvval":
+            if fa.sort == fb.sort:
+                out.append(eq(fa, fb))
+    return out
+
+
+def _equate_environments(a: EncodedNetwork,
+                         b: EncodedNetwork) -> List[Term]:
+    out: List[Term] = []
+    for peer, rec_a in a.env.items():
+        rec_b = b.env.get(peer)
+        if rec_b is not None:
+            out.extend(a.factory.equate(rec_a, rec_b))
+    return out

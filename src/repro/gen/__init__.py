@@ -1,0 +1,11 @@
+"""Synthetic network generators for benchmarks and fuzzing."""
+
+from .cloud import CloudNetwork, SUITE_SIZE, build_cloud_network, cloud_suite
+from .fattree import FatTree, build_fattree, fattree_router_count
+from .random_net import RandomScenario, random_scenario
+
+__all__ = [
+    "FatTree", "build_fattree", "fattree_router_count",
+    "CloudNetwork", "build_cloud_network", "cloud_suite", "SUITE_SIZE",
+    "RandomScenario", "random_scenario",
+]

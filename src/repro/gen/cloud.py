@@ -1,0 +1,217 @@
+"""Generator of "cloud-provider-like" networks for the §8.1 experiments.
+
+The paper analyzed 152 proprietary networks (2–25 routers, 1–23K config
+lines) and found 120 violations of four properties.  We cannot obtain that
+data set, so this module generates 152 networks in the same size range with
+the same structure the paper describes (core/aggregation/ToR roles, OSPF +
+eBGP + iBGP + statics + ACLs + redistribution, management interfaces) and
+*seeds the same bug classes* in matching proportions:
+
+* **management-interface hijack** — cores lack an inbound filter covering
+  the management space, so a crafted external /32 announcement diverts
+  management traffic (67 networks in the paper);
+* **local-equivalence drift** — one router of a role carries an extra or
+  missing ACL entry, a copy-paste artifact (29 networks);
+* **deep black hole** — a Null0 discard configured on an interior router
+  rather than at the edge (24 networks);
+* fault-invariance violations — none (matching the paper's zero).
+
+The generator is deterministic per index, so the benchmark harness and the
+tests agree on which networks carry which bugs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.net import ip as iplib
+from repro.net.builder import NetworkBuilder
+from repro.net.policy import AclRule, PrefixListEntry, RouteMapClause
+from repro.net.topology import Network
+
+__all__ = ["CloudNetwork", "build_cloud_network", "cloud_suite",
+           "SUITE_SIZE"]
+
+SUITE_SIZE = 152
+
+# Bug-class assignment: indices chosen deterministically so the suite
+# reproduces the paper's violation counts (67 / 29 / 24 / 0 out of 152).
+_HIJACK_COUNT = 67
+_EQUIV_COUNT = 29
+_BLACKHOLE_COUNT = 24
+
+
+@dataclass
+class CloudNetwork:
+    """A generated network plus its ground-truth bug labels."""
+
+    index: int
+    network: Network
+    roles: Dict[str, List[str]]
+    management_prefixes: List[str]
+    seeded_hijack: bool
+    seeded_equiv_drift: bool
+    seeded_blackhole: bool
+    blackhole_router: Optional[str] = None
+    drift_pair: Optional[Tuple[str, str]] = None
+
+    @property
+    def name(self) -> str:
+        return f"cloud{self.index:03d}"
+
+
+def _bug_flags(index: int) -> Tuple[bool, bool, bool]:
+    """Deterministic, disjoint bug assignment: indices 0..66 hijack,
+    67..95 equivalence drift, 96..119 black hole, 120..151 clean —
+    exactly the paper's 67 + 29 + 24 violations over 152 networks."""
+    hijack = index < _HIJACK_COUNT
+    drift = _HIJACK_COUNT <= index < _HIJACK_COUNT + _EQUIV_COUNT
+    hole_start = _HIJACK_COUNT + _EQUIV_COUNT
+    hole = hole_start <= index < hole_start + _BLACKHOLE_COUNT
+    return hijack, drift, hole
+
+
+def build_cloud_network(index: int) -> CloudNetwork:
+    """Build network ``index`` (0..151) of the suite."""
+    rng = random.Random(0xC10D + index)
+    hijack, drift, hole = _bug_flags(index)
+
+    # Size: 3..25 routers, skewed small like the paper's population.
+    n_routers = min(25, max(3, 2 + int(rng.expovariate(1 / 6.0))))
+    if drift or hole:
+        # These bug classes need an interior/role structure to live in.
+        n_routers = max(n_routers, 6)
+    n_cores = 1 if n_routers < 6 else 2
+    n_aggs = 0 if n_routers < 4 else min(4, max(0, (n_routers - 2) // 3))
+    n_tors = max(0, n_routers - n_cores - n_aggs)
+
+    builder = NetworkBuilder()
+    cores = [f"core{i}" for i in range(n_cores)]
+    aggs = [f"agg{i}" for i in range(n_aggs)]
+    tors = [f"tor{i}" for i in range(n_tors)]
+    roles = {"core": cores, "agg": aggs, "tor": tors}
+
+    mgmt_prefixes: List[str] = []
+    all_names = cores + aggs + tors
+    for i, name in enumerate(all_names):
+        dev = builder.device(name)
+        dev.enable_ospf()
+        dev.ospf_network("10.0.0.0/8")
+        dev.ospf_network("172.16.0.0/12")
+        mgmt = f"172.16.{index % 200}.{i + 1}"
+        dev.interface("mgmt", f"{mgmt}/32", management=True)
+        mgmt_prefixes.append(f"{mgmt}/32")
+
+    # Topology: a ring over all routers guarantees 2-edge-connectivity
+    # (so single failures never partition — the paper found zero
+    # fault-invariance violations), plus hierarchical links for realism:
+    # cores meshed, aggs homed to every core, tors homed to two uplinks.
+    linked = set()
+
+    def link_once(a: str, b: str) -> None:
+        key = tuple(sorted((a, b)))
+        if a != b and key not in linked:
+            linked.add(key)
+            builder.link(a, b)
+
+    ring = cores + aggs + tors
+    for a, b in zip(ring, ring[1:] + ring[:1]):
+        link_once(a, b)
+    for i, a in enumerate(cores):
+        for b in cores[i + 1:]:
+            link_once(a, b)
+    uplinks = aggs if aggs else cores
+    for agg in aggs:
+        for core in cores:
+            link_once(agg, core)
+    for i, tor in enumerate(tors):
+        link_once(tor, uplinks[i % len(uplinks)])
+        link_once(tor, uplinks[(i + 1) % len(uplinks)])
+
+    # Rack subnets on ToRs (or on the cores of tiny networks).
+    racks = tors if tors else cores
+    for i, name in enumerate(racks):
+        builder.device(name).interface(
+            "rack", f"10.{index % 200}.{i}.1/24")
+
+    # Cores run eBGP to one upstream each, redistribute both ways, and
+    # (in correct networks) filter the management space inbound.
+    # Cores redistribute BGP into OSPF so interior routers can reach
+    # external space.  They do NOT redistribute OSPF into BGP: locally
+    # sourced BGP routes would out-prefer (suppress) learned eBGP routes
+    # and mask the hijack — the paper's vulnerable networks evidently
+    # leave internal space un-redistributed too.
+    # Every network filters its internal *data* space inbound (standard
+    # hygiene, and what keeps fault-invariance clean); the hijack bug
+    # class forgets to cover the *management* space — exactly the
+    # oversight the paper found in 67 of 152 networks.
+    for i, core in enumerate(cores):
+        dev = builder.device(core)
+        dev.enable_bgp(65000 + index % 500)
+        dev.redistribute("ospf", "bgp", metric=20)
+        entries = [PrefixListEntry("deny", iplib.parse_ip("10.0.0.0"), 8,
+                                   ge=8, le=32)]
+        if not hijack:
+            entries.append(PrefixListEntry(
+                "deny", iplib.parse_ip("172.16.0.0"), 12, ge=12, le=32))
+        entries.append(PrefixListEntry("permit", 0, 0, le=32))
+        dev.prefix_list("EDGE_FILTER", entries)
+        dev.route_map("EDGE_IN", [RouteMapClause(
+            seq=10, action="permit", match_prefix_list="EDGE_FILTER")])
+        builder.external_peer(core, asn=64900 + i,
+                              name=f"upstream{i}",
+                              route_map_in="EDGE_IN")
+
+    # Role ACLs on rack interfaces (the §8.1 local-equivalence subject).
+    guard_rules = [
+        AclRule("deny", dst_network=iplib.parse_ip("192.168.0.0"),
+                dst_length=16),
+        AclRule("deny", dst_network=iplib.parse_ip("169.254.0.0"),
+                dst_length=16),
+        AclRule("permit"),
+    ]
+    drift_pair = None
+    for i, name in enumerate(racks):
+        dev = builder.device(name)
+        rules = list(guard_rules)
+        if drift and i == len(racks) - 1 and len(racks) >= 2:
+            # Copy-paste drift: the last same-role router misses an entry.
+            rules = rules[1:]
+            drift_pair = (racks[0], name)
+        dev.acl("RACK_GUARD", rules)
+        dev.config.interfaces["rack"].acl_in = "RACK_GUARD"
+    if drift_pair is None:
+        drift = False
+
+    # Deep black hole: an interior router discards a rack sub-prefix.
+    blackhole_router = None
+    if hole and aggs:
+        blackhole_router = aggs[0]
+        builder.device(blackhole_router).static_route(
+            f"10.{index % 200}.0.128/25", drop=True)
+    elif hole and len(cores) > 1:
+        blackhole_router = cores[1]
+        builder.device(blackhole_router).static_route(
+            f"10.{index % 200}.0.128/25", drop=True)
+    else:
+        hole = False
+
+    network = builder.build()
+    return CloudNetwork(
+        index=index,
+        network=network,
+        roles=roles,
+        management_prefixes=mgmt_prefixes,
+        seeded_hijack=hijack,
+        seeded_equiv_drift=drift,
+        seeded_blackhole=hole,
+        blackhole_router=blackhole_router,
+        drift_pair=drift_pair,
+    )
+
+
+def cloud_suite(count: int = SUITE_SIZE) -> List[CloudNetwork]:
+    """The full 152-network suite (or a prefix of it)."""
+    return [build_cloud_network(i) for i in range(count)]

@@ -1,0 +1,145 @@
+"""Folded-Clos (fat-tree) BGP data centers — the §8.2 synthetic workload.
+
+Matches the paper's sizing: for ``pods = p`` (even), the network has
+``p`` pods of ``p/2`` aggregation + ``p/2`` top-of-rack routers plus
+``(p/2)²`` core (spine) routers — 5 routers for 2 pods, 45 for 6,
+125 for 10, 245 for 14, 405 for 18, exactly the x-axis of Figure 8.
+
+Configuration follows the paper's description of its Propane-like
+networks: BGP everywhere (a private ASN per router), multipath enabled on
+all routers, each ToR announcing a /24 for its rack, and spine routers
+peering with an external backbone through route filters that block
+internal-space advertisements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.net import ip as iplib
+from repro.net.builder import NetworkBuilder
+from repro.net.policy import PrefixListEntry, RouteMapClause
+from repro.net.topology import Network
+
+__all__ = ["FatTree", "build_fattree", "fattree_router_count"]
+
+BASE_ASN = 64600
+
+
+def fattree_router_count(pods: int) -> int:
+    """Router count for a given pod parameter (must be even)."""
+    half = pods // 2
+    return pods * (half + half) + half * half
+
+
+@dataclass
+class FatTree:
+    """A generated fat-tree plus its landmark names."""
+
+    network: Network
+    pods: int
+    tors: List[str]
+    aggs: List[str]
+    cores: List[str]
+    backbone_peers: List[str]
+
+    def tor_subnet(self, tor: str) -> str:
+        """The /24 announced by a ToR."""
+        return self._subnets[tor]
+
+    def pod_of(self, router: str) -> int:
+        return int(router.split("_")[1])
+
+
+def build_fattree(pods: int, with_backbone: bool = True) -> FatTree:
+    """Build a ``pods``-pod fat-tree (pods must be even and >= 2)."""
+    if pods < 2 or pods % 2:
+        raise ValueError("pods must be an even integer >= 2")
+    half = pods // 2
+    builder = NetworkBuilder()
+    asn = _asn_allocator()
+
+    tors: List[str] = []
+    aggs: List[str] = []
+    cores: List[str] = []
+    subnets: Dict[str, str] = {}
+
+    for pod in range(pods):
+        for i in range(half):
+            name = f"agg_{pod}_{i}"
+            aggs.append(name)
+            dev = builder.device(name)
+            dev.enable_bgp(asn(name), multipath=True)
+        for i in range(half):
+            name = f"tor_{pod}_{i}"
+            tors.append(name)
+            dev = builder.device(name)
+            dev.enable_bgp(asn(name), multipath=True)
+            subnet = f"10.{pod}.{i}.0/24"
+            host = f"10.{pod}.{i}.1/24"
+            dev.interface("rack", host)
+            dev.bgp_network(subnet)
+            subnets[name] = subnet
+    for i in range(half * half):
+        name = f"core_{i // half}_{i % half}"
+        cores.append(name)
+        dev = builder.device(name)
+        dev.enable_bgp(asn(name), multipath=True)
+
+    # Pod wiring: full bipartite ToR <-> Agg inside each pod.
+    for pod in range(pods):
+        for t in range(half):
+            for a in range(half):
+                _bgp_link(builder, f"tor_{pod}_{t}", f"agg_{pod}_{a}")
+    # Core wiring: agg i of each pod connects to core row i.
+    for pod in range(pods):
+        for a in range(half):
+            for c in range(half):
+                _bgp_link(builder, f"agg_{pod}_{a}", f"core_{a}_{c}")
+
+    backbone_peers: List[str] = []
+    if with_backbone:
+        # Spine routers filter advertisements from the backbone: internal
+        # rack space must not be announced *to* us from outside (and our
+        # more-specific internal routes are not leaked out).
+        for core in cores:
+            dev = builder.device(core)
+            dev.prefix_list("BLOCK_INTERNAL", [
+                PrefixListEntry("deny", iplib.parse_ip("10.0.0.0"), 8,
+                                ge=8, le=32),
+                PrefixListEntry("permit", 0, 0, le=32),
+            ])
+            dev.route_map("BACKBONE_IN", [
+                RouteMapClause(seq=10, action="permit",
+                               match_prefix_list="BLOCK_INTERNAL"),
+            ])
+            peer = builder.external_peer(
+                core, asn=65000, name=f"bb_{core}",
+                route_map_in="BACKBONE_IN")
+            backbone_peers.append(peer)
+
+    tree = FatTree(network=builder.build(), pods=pods, tors=tors,
+                   aggs=aggs, cores=cores, backbone_peers=backbone_peers)
+    tree._subnets = subnets
+    return tree
+
+
+def _bgp_link(builder: NetworkBuilder, a: str, b: str) -> None:
+    if_a, if_b = builder.link(a, b)
+    dev_a = builder.device(a)
+    dev_b = builder.device(b)
+    addr_a = iplib.format_ip(if_a.address)
+    addr_b = iplib.format_ip(if_b.address)
+    dev_a.bgp_neighbor(addr_b, remote_as=dev_b.config.bgp.asn)
+    dev_b.bgp_neighbor(addr_a, remote_as=dev_a.config.bgp.asn)
+
+
+def _asn_allocator():
+    counter = {"next": BASE_ASN}
+
+    def allocate(_name: str) -> int:
+        counter["next"] += 1
+        return counter["next"]
+
+    return allocate

@@ -1,0 +1,131 @@
+"""Random well-formed networks for fuzzing and agreement testing.
+
+Generates connected topologies with a random mix of OSPF, eBGP/iBGP,
+static routes and simple import policies, restricted to configurations
+with deterministic, convergent control planes (no preference cycles), so
+the simulator fixpoint and the symbolic encoding's stable state can be
+compared directly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.net import ip as iplib
+from repro.net.builder import NetworkBuilder
+from repro.net.policy import PrefixListEntry, RouteMapClause
+from repro.net.topology import Network
+from repro.sim.environment import Environment, ExternalAnnouncement
+
+__all__ = ["RandomScenario", "random_scenario"]
+
+
+@dataclass
+class RandomScenario:
+    """A random network plus a matching random concrete environment and
+    interesting destination addresses to probe."""
+
+    seed: int
+    network: Network
+    environment: Environment
+    probe_destinations: List[int]
+
+
+def random_scenario(seed: int, max_routers: int = 6) -> RandomScenario:
+    rng = random.Random(seed)
+    n = rng.randint(2, max_routers)
+    builder = NetworkBuilder()
+    names = [f"r{i}" for i in range(n)]
+    use_bgp = rng.random() < 0.7
+    asn = 65001
+
+    for name in names:
+        dev = builder.device(name)
+        dev.enable_ospf(multipath=rng.random() < 0.3)
+        dev.ospf_network("10.0.0.0/8")
+        if use_bgp:
+            dev.enable_bgp(asn, multipath=False)
+
+    # Random connected topology: a spanning tree plus extra edges.
+    for i in range(1, n):
+        builder.link(names[i], names[rng.randrange(i)],
+                     ospf_cost=rng.randint(1, 5))
+    extra = rng.randint(0, n // 2)
+    for _ in range(extra):
+        a, b = rng.sample(names, 2)
+        if builder.device(a) is not builder.device(b):
+            builder.link(a, b, ospf_cost=rng.randint(1, 5))
+
+    # Host subnets.
+    probes: List[int] = []
+    for i, name in enumerate(names):
+        if rng.random() < 0.8:
+            subnet = iplib.parse_ip(f"10.{seed % 200}.{i}.0")
+            builder.device(name).interface(
+                f"host{i}", f"{iplib.format_ip(subnet + 1)}/24")
+            probes.append(subnet + 7)
+
+    # Statics: occasional discard or next-hop routes.
+    for name in names:
+        if rng.random() < 0.25:
+            target = iplib.parse_ip(f"172.{16 + rng.randrange(4)}.0.0")
+            builder.device(name).static_route(
+                f"{iplib.format_ip(target)}/16", drop=True)
+            probes.append(target + 3)
+
+    announcements = []
+    if use_bgp:
+        # iBGP full mesh over adjacent pairs; externals on some routers.
+        linked = {tuple(sorted((e.source, e.target)))
+                  for e in builder.build().edges}
+        # Note: build() above is only for adjacency inspection; rebuild
+        # below picks up the BGP sessions added afterwards.
+        for a, b in sorted(linked):
+            builder.ibgp_session(a, b)
+        n_ext = rng.randint(1, 2)
+        ext_names = []
+        for i in range(n_ext):
+            router = rng.choice(names)
+            dev = builder.device(router)
+            map_name = None
+            if rng.random() < 0.5:
+                map_name = f"IMP{i}"
+                dev.prefix_list(f"PL{i}", [
+                    PrefixListEntry("deny",
+                                    iplib.parse_ip("192.168.0.0"), 16,
+                                    ge=16, le=32),
+                    PrefixListEntry("permit", 0, 0, le=32),
+                ])
+                clauses = [RouteMapClause(
+                    seq=10, action="permit",
+                    match_prefix_list=f"PL{i}",
+                    set_local_pref=(150 if rng.random() < 0.5 else None))]
+                dev.route_map(map_name, clauses)
+            peer = builder.external_peer(router, asn=64700 + i,
+                                         name=f"ext{i}",
+                                         route_map_in=map_name)
+            ext_names.append(peer)
+            dev.redistribute("ospf", "bgp", metric=20)
+        for i, peer in enumerate(ext_names):
+            if rng.random() < 0.8:
+                prefix_net = iplib.parse_ip(f"8.{i}.0.0")
+                length = rng.choice([8, 16, 24])
+                announcements.append(ExternalAnnouncement(
+                    peer=peer,
+                    network=iplib.network_of(prefix_net, length),
+                    length=length,
+                    med=rng.choice([0, 0, 10]),
+                    as_path=tuple(64512 + j
+                                  for j in range(rng.randint(1, 3))),
+                ))
+                probes.append(iplib.network_of(prefix_net, length) + 9)
+
+    network = builder.build()
+    environment = Environment.of(announcements)
+    if not probes:
+        probes.append(iplib.parse_ip("10.255.255.1"))
+    return RandomScenario(seed=seed, network=network,
+                          environment=environment,
+                          probe_destinations=sorted(set(probes)))

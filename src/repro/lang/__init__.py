@@ -1,0 +1,6 @@
+"""Configuration language: Cisco-IOS-like parser and writer."""
+
+from .parser import ConfigSyntaxError, parse_config
+from .writer import write_config
+
+__all__ = ["parse_config", "write_config", "ConfigSyntaxError"]

@@ -1,0 +1,271 @@
+"""Programmatic network construction.
+
+The synthetic generators and most tests build networks through this API
+instead of writing config text; :mod:`repro.lang.writer` can serialize the
+result back to config files (and the parser re-reads them), so both input
+paths produce identical :class:`~repro.net.topology.Network` objects.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from . import ip as iplib
+from .device import (
+    BgpConfig,
+    BgpNeighbor,
+    DeviceConfig,
+    Interface,
+    OspfConfig,
+    StaticRoute,
+)
+from .policy import (
+    Acl,
+    AclRule,
+    CommunityList,
+    PrefixList,
+    PrefixListEntry,
+    RouteMap,
+    RouteMapClause,
+)
+from .topology import Network
+
+__all__ = ["NetworkBuilder", "DeviceBuilder"]
+
+
+class DeviceBuilder:
+    """Mutating wrapper around one :class:`DeviceConfig`."""
+
+    def __init__(self, config: DeviceConfig) -> None:
+        self.config = config
+        self._iface_counter = itertools.count()
+
+    # -- interfaces ----------------------------------------------------
+
+    def interface(self, name: str, address: str,
+                  ospf_cost: int = 1,
+                  acl_in: Optional[str] = None,
+                  acl_out: Optional[str] = None,
+                  management: bool = False) -> Interface:
+        """Add an interface; ``address`` is ``A.B.C.D/len`` (host address)."""
+        addr_text, _, len_text = address.partition("/")
+        iface = Interface(
+            name=name,
+            address=iplib.parse_ip(addr_text),
+            prefix_length=int(len_text),
+            ospf_cost=ospf_cost,
+            acl_in=acl_in,
+            acl_out=acl_out,
+            is_management=management,
+        )
+        self.config.interfaces[name] = iface
+        return iface
+
+    def next_interface_name(self) -> str:
+        return f"eth{next(self._iface_counter)}"
+
+    # -- protocols -----------------------------------------------------
+
+    def enable_ospf(self, process_id: int = 1,
+                    multipath: bool = False) -> OspfConfig:
+        if self.config.ospf is None:
+            self.config.ospf = OspfConfig(process_id=process_id,
+                                          multipath=multipath)
+        return self.config.ospf
+
+    def ospf_network(self, prefix: str, area: int = 0) -> None:
+        net, length = iplib.parse_prefix(prefix)
+        self.enable_ospf().networks.append((net, length, area))
+
+    def enable_bgp(self, asn: int, multipath: bool = False) -> BgpConfig:
+        if self.config.bgp is None:
+            self.config.bgp = BgpConfig(asn=asn, multipath=multipath)
+        return self.config.bgp
+
+    def bgp_neighbor(self, peer_ip: str, remote_as: int,
+                     route_map_in: Optional[str] = None,
+                     route_map_out: Optional[str] = None,
+                     route_reflector_client: bool = False,
+                     description: str = "") -> BgpNeighbor:
+        if self.config.bgp is None:
+            raise ValueError("enable_bgp() before adding neighbors")
+        nbr = BgpNeighbor(
+            peer_ip=iplib.parse_ip(peer_ip),
+            remote_as=remote_as,
+            route_map_in=route_map_in,
+            route_map_out=route_map_out,
+            route_reflector_client=route_reflector_client,
+            description=description,
+        )
+        self.config.bgp.neighbors.append(nbr)
+        return nbr
+
+    def bgp_network(self, prefix: str) -> None:
+        if self.config.bgp is None:
+            raise ValueError("enable_bgp() before announcing networks")
+        self.config.bgp.networks.append(iplib.parse_prefix(prefix))
+
+    def redistribute(self, into: str, source: str, metric: int = 0) -> None:
+        """Redistribute ``source`` routes into protocol ``into``."""
+        if into == "bgp":
+            if self.config.bgp is None:
+                raise ValueError("enable_bgp() first")
+            self.config.bgp.redistribute[source] = metric
+        elif into == "ospf":
+            if self.config.ospf is None:
+                raise ValueError("enable_ospf() first")
+            self.config.ospf.redistribute[source] = metric
+        else:
+            raise ValueError(f"cannot redistribute into {into!r}")
+
+    def static_route(self, prefix: str, next_hop: Optional[str] = None,
+                     interface: Optional[str] = None,
+                     drop: bool = False) -> StaticRoute:
+        net, length = iplib.parse_prefix(prefix)
+        route = StaticRoute(
+            network=net,
+            length=length,
+            next_hop_ip=iplib.parse_ip(next_hop) if next_hop else None,
+            interface=interface,
+            drop=drop,
+        )
+        self.config.static_routes.append(route)
+        return route
+
+    # -- policy objects --------------------------------------------------
+
+    def acl(self, name: str, rules: Sequence[AclRule]) -> Acl:
+        acl = Acl(name=name, rules=tuple(rules))
+        self.config.acls[name] = acl
+        return acl
+
+    def prefix_list(self, name: str,
+                    entries: Sequence[PrefixListEntry]) -> PrefixList:
+        plist = PrefixList(name=name, entries=tuple(entries))
+        self.config.prefix_lists[name] = plist
+        return plist
+
+    def community_list(self, name: str, communities: Sequence[str],
+                       action: str = "permit") -> CommunityList:
+        clist = CommunityList(name=name, action=action,
+                              communities=tuple(communities))
+        self.config.community_lists[name] = clist
+        return clist
+
+    def route_map(self, name: str,
+                  clauses: Sequence[RouteMapClause]) -> RouteMap:
+        rmap = RouteMap(name=name, clauses=tuple(clauses))
+        self.config.route_maps[name] = rmap
+        return rmap
+
+
+class NetworkBuilder:
+    """Builds a whole network: devices, links and external peers."""
+
+    def __init__(self) -> None:
+        self._devices: Dict[str, DeviceBuilder] = {}
+        self._link_subnets = itertools.count(0)
+
+    def device(self, hostname: str) -> DeviceBuilder:
+        if hostname not in self._devices:
+            self._devices[hostname] = DeviceBuilder(
+                DeviceConfig(hostname=hostname))
+        return self._devices[hostname]
+
+    def link(self, a: str, b: str, subnet: Optional[str] = None,
+             ospf_cost: int = 1,
+             acl_in_a: Optional[str] = None,
+             acl_in_b: Optional[str] = None) -> Tuple[Interface, Interface]:
+        """Connect two devices with a point-to-point /30 subnet.
+
+        Interfaces are auto-named; a fresh ``10.128.x.y/30`` subnet is
+        allocated when none is given.
+        """
+        if subnet is None:
+            subnet = self._fresh_subnet()
+        net, length = iplib.parse_prefix(subnet)
+        dev_a = self.device(a)
+        dev_b = self.device(b)
+        if_a = dev_a.interface(dev_a.next_interface_name(),
+                               f"{iplib.format_ip(net + 1)}/{length}",
+                               ospf_cost=ospf_cost, acl_in=acl_in_a)
+        if_b = dev_b.interface(dev_b.next_interface_name(),
+                               f"{iplib.format_ip(net + 2)}/{length}",
+                               ospf_cost=ospf_cost, acl_in=acl_in_b)
+        return if_a, if_b
+
+    def external_peer(self, router: str, asn: int,
+                      name: str = "",
+                      subnet: Optional[str] = None,
+                      route_map_in: Optional[str] = None,
+                      route_map_out: Optional[str] = None) -> str:
+        """Attach an eBGP peer outside the network to ``router``.
+
+        Returns the peer's name (used to refer to it in properties).
+        """
+        if subnet is None:
+            subnet = self._fresh_subnet()
+        net, length = iplib.parse_prefix(subnet)
+        dev = self.device(router)
+        dev.interface(dev.next_interface_name(),
+                      f"{iplib.format_ip(net + 1)}/{length}")
+        peer_ip = iplib.format_ip(net + 2)
+        peer_name = name or f"ext-{router}-{peer_ip}"
+        dev.bgp_neighbor(peer_ip, remote_as=asn,
+                         route_map_in=route_map_in,
+                         route_map_out=route_map_out,
+                         description=peer_name)
+        return peer_name
+
+    def ibgp_session(self, a: str, b: str) -> None:
+        """Configure an iBGP session between two devices (loopback-less:
+        peers address each other's nearest interface)."""
+        dev_a = self.device(a).config
+        dev_b = self.device(b).config
+        if dev_a.bgp is None or dev_b.bgp is None:
+            raise ValueError("enable_bgp() on both devices first")
+        addr_a = self._session_address(dev_a, dev_b)
+        addr_b = self._session_address(dev_b, dev_a)
+        self.device(a).bgp_neighbor(iplib.format_ip(addr_b),
+                                    remote_as=dev_b.bgp.asn)
+        self.device(b).bgp_neighbor(iplib.format_ip(addr_a),
+                                    remote_as=dev_a.bgp.asn)
+
+    def build(self) -> Network:
+        for builder in self._devices.values():
+            cfg = builder.config
+            if cfg.config_lines == 0:
+                cfg.config_lines = _estimate_config_lines(cfg)
+        return Network(builder.config for builder in self._devices.values())
+
+    # ------------------------------------------------------------------
+
+    def _fresh_subnet(self) -> str:
+        index = next(self._link_subnets)
+        base = iplib.parse_ip("10.128.0.0") + index * 4
+        return f"{iplib.format_ip(base)}/30"
+
+    @staticmethod
+    def _session_address(of: DeviceConfig, seen_from: DeviceConfig) -> int:
+        """Pick the address of ``of`` on a subnet shared with ``seen_from``;
+        falls back to any interface address."""
+        for iface in of.interfaces.values():
+            if not iface.address:
+                continue
+            if seen_from.interface_for_subnet(iface.address):
+                return iface.address
+        for iface in of.interfaces.values():
+            if iface.address:
+                return iface.address
+        raise ValueError(f"{of.hostname} has no usable addresses")
+
+
+def _estimate_config_lines(config: DeviceConfig) -> int:
+    """Meaningful-line count of the serialized config, matching the
+    parser's metric (comments/separators excluded).  Import deferred:
+    the writer imports this module's data classes."""
+    from repro.lang.writer import write_config
+
+    return sum(1 for line in write_config(config).splitlines()
+               if line.strip() and not line.strip().startswith("!"))

@@ -1,0 +1,121 @@
+"""IPv4 address arithmetic.
+
+Addresses and prefixes are plain unsigned 32-bit integers throughout the
+code base; this module owns all conversions to and from dotted-quad text,
+netmasks, wildcard masks and CIDR notation.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+__all__ = [
+    "parse_ip",
+    "format_ip",
+    "parse_prefix",
+    "format_prefix",
+    "mask_to_length",
+    "length_to_mask",
+    "wildcard_to_length",
+    "network_of",
+    "prefix_contains",
+    "prefix_overlaps",
+    "host_in_subnet",
+    "broadcast_of",
+]
+
+MAX_IP = (1 << 32) - 1
+
+
+def parse_ip(text: str) -> int:
+    """Parse dotted-quad text into a 32-bit integer."""
+    parts = text.strip().split(".")
+    if len(parts) != 4:
+        raise ValueError(f"malformed IPv4 address: {text!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"octet out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def format_ip(value: int) -> str:
+    """Format a 32-bit integer as dotted-quad text."""
+    if not 0 <= value <= MAX_IP:
+        raise ValueError(f"IPv4 value out of range: {value}")
+    return ".".join(str((value >> shift) & 0xFF)
+                    for shift in (24, 16, 8, 0))
+
+
+def parse_prefix(text: str) -> Tuple[int, int]:
+    """Parse ``A.B.C.D/len`` into ``(network, length)``.
+
+    The address is normalized to its network (host bits cleared).
+    """
+    addr_text, _, len_text = text.partition("/")
+    if not len_text:
+        raise ValueError(f"missing prefix length in {text!r}")
+    length = int(len_text)
+    if not 0 <= length <= 32:
+        raise ValueError(f"prefix length out of range in {text!r}")
+    return network_of(parse_ip(addr_text), length), length
+
+
+def format_prefix(network: int, length: int) -> str:
+    return f"{format_ip(network)}/{length}"
+
+
+def mask_to_length(mask: int) -> int:
+    """Convert a contiguous netmask (e.g. 255.255.255.0) to its length."""
+    length = 0
+    seen_zero = False
+    for shift in range(31, -1, -1):
+        bit = (mask >> shift) & 1
+        if bit:
+            if seen_zero:
+                raise ValueError(f"non-contiguous netmask: {format_ip(mask)}")
+            length += 1
+        else:
+            seen_zero = True
+    return length
+
+
+def length_to_mask(length: int) -> int:
+    if not 0 <= length <= 32:
+        raise ValueError(f"prefix length out of range: {length}")
+    if length == 0:
+        return 0
+    return (MAX_IP << (32 - length)) & MAX_IP
+
+
+def wildcard_to_length(wildcard: int) -> int:
+    """Convert a Cisco wildcard mask (e.g. 0.0.0.255) to a prefix length."""
+    return mask_to_length(wildcard ^ MAX_IP)
+
+
+def network_of(address: int, length: int) -> int:
+    """Clear host bits: the network containing ``address`` at ``length``."""
+    return address & length_to_mask(length)
+
+
+def broadcast_of(network: int, length: int) -> int:
+    """Highest address inside the prefix."""
+    return network | (length_to_mask(length) ^ MAX_IP)
+
+
+def prefix_contains(network: int, length: int, address: int) -> bool:
+    """Does ``address`` fall inside ``network/length``?"""
+    return network_of(address, length) == network_of(network, length)
+
+
+def prefix_overlaps(net_a: int, len_a: int, net_b: int, len_b: int) -> bool:
+    """Do two prefixes share any address?"""
+    short = min(len_a, len_b)
+    return network_of(net_a, short) == network_of(net_b, short)
+
+
+def host_in_subnet(network: int, length: int, offset: int = 1) -> int:
+    """A usable host address inside the prefix (offset from the network)."""
+    return network_of(network, length) + offset

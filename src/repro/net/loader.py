@@ -1,0 +1,44 @@
+"""Load a directory of configuration files into a :class:`Network`."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.lang.parser import parse_config
+from .topology import Network
+
+__all__ = ["load_network", "network_from_texts"]
+
+_CONFIG_SUFFIXES = (".cfg", ".conf", ".txt")
+
+
+def load_network(directory: Union[str, Path]) -> Network:
+    """Parse every config file in ``directory`` and derive the topology.
+
+    Files are recognized by suffix (``.cfg``, ``.conf``, ``.txt``); the
+    hostname comes from the ``hostname`` directive, not the file name.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise FileNotFoundError(f"not a directory: {directory}")
+    texts = {}
+    for entry in sorted(directory.iterdir()):
+        if entry.suffix.lower() in _CONFIG_SUFFIXES and entry.is_file():
+            texts[entry.name] = entry.read_text()
+    if not texts:
+        raise FileNotFoundError(
+            f"no config files ({'/'.join(_CONFIG_SUFFIXES)}) in {directory}")
+    return network_from_texts(texts)
+
+
+def network_from_texts(texts: Dict[str, str]) -> Network:
+    """Build a network from a mapping of file name → config text."""
+    devices = []
+    for filename, text in texts.items():
+        try:
+            devices.append(parse_config(text))
+        except Exception as exc:
+            raise ValueError(f"{filename}: {exc}") from exc
+    return Network(devices)

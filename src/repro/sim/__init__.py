@@ -1,0 +1,24 @@
+"""Concrete control-plane simulator (the Batfish-analogue substrate)."""
+
+from .dataplane import (
+    DELIVERED,
+    DROPPED_ACL,
+    DataPlane,
+    EXITED,
+    LOOP,
+    NO_ROUTE,
+    NULL_ROUTED,
+    Packet,
+    Trace,
+)
+from .decision import bgp_prefers, overall_best, protocol_key, select_best
+from .environment import Environment, ExternalAnnouncement
+from .simulator import ControlPlaneSimulator, SimulationResult, simulate
+
+__all__ = [
+    "Environment", "ExternalAnnouncement",
+    "ControlPlaneSimulator", "SimulationResult", "simulate",
+    "DataPlane", "Packet", "Trace",
+    "DELIVERED", "EXITED", "NO_ROUTE", "NULL_ROUTED", "DROPPED_ACL", "LOOP",
+    "bgp_prefers", "protocol_key", "select_best", "overall_best",
+]

@@ -1,0 +1,62 @@
+"""Concrete environments: external announcements and link failures.
+
+The symbolic verifier ranges over *all* environments; the simulator takes a
+single concrete :class:`Environment` — exactly the relationship between
+Minesweeper and Batfish described in the paper's introduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Tuple
+
+from repro.net import ip as iplib
+
+__all__ = ["ExternalAnnouncement", "Environment"]
+
+
+@dataclass(frozen=True)
+class ExternalAnnouncement:
+    """A BGP advertisement injected by a named external peer."""
+
+    peer: str                      # ExternalPeer.name
+    network: int
+    length: int
+    med: int = 0
+    as_path: Tuple[int, ...] = ()
+    communities: FrozenSet[str] = frozenset()
+
+    @classmethod
+    def make(cls, peer: str, prefix: str, path_length: int = 1,
+             med: int = 0, communities: Tuple[str, ...] = (),
+             origin_asn: int = 64512) -> "ExternalAnnouncement":
+        """Convenience constructor from ``A.B.C.D/len`` text."""
+        network, length = iplib.parse_prefix(prefix)
+        as_path = tuple(origin_asn + i for i in range(max(path_length, 1)))
+        return cls(peer=peer, network=network, length=length, med=med,
+                   as_path=as_path, communities=frozenset(communities))
+
+
+@dataclass(frozen=True)
+class Environment:
+    """One concrete control-plane environment."""
+
+    announcements: Tuple[ExternalAnnouncement, ...] = ()
+    failed_links: FrozenSet[Tuple[str, str]] = frozenset()
+
+    @classmethod
+    def empty(cls) -> "Environment":
+        return cls()
+
+    @classmethod
+    def of(cls, announcements: List[ExternalAnnouncement] = (),
+           failed_links: List[Tuple[str, str]] = ()) -> "Environment":
+        normalized = frozenset(tuple(sorted(pair)) for pair in failed_links)
+        return cls(announcements=tuple(announcements),
+                   failed_links=normalized)
+
+    def link_failed(self, a: str, b: str) -> bool:
+        return tuple(sorted((a, b))) in self.failed_links
+
+    def announcements_from(self, peer: str) -> List[ExternalAnnouncement]:
+        return [a for a in self.announcements if a.peer == peer]

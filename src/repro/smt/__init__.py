@@ -1,0 +1,52 @@
+"""From-scratch SMT substrate: terms, bit-blasting, CNF, CDCL SAT, models.
+
+This package stands in for Z3 in the original Minesweeper: the network
+encoding only needs booleans, fixed-width bit-vectors and cardinality sums,
+all of which bit-blast exactly into CNF for the CDCL core.
+"""
+
+from .solver import Model, Result, SAT, Solver, UNKNOWN, UNSAT
+from .terms import (
+    BOOL,
+    Context,
+    FALSE,
+    TRUE,
+    Term,
+    and_,
+    at_least_k,
+    at_most_k,
+    bit,
+    bool_var,
+    bv_add,
+    bv_ite,
+    bv_sort,
+    bv_val,
+    bv_var,
+    default_context,
+    eq,
+    exactly_k,
+    iff,
+    implies,
+    ite,
+    ne,
+    not_,
+    or_,
+    uge,
+    ugt,
+    ule,
+    ult,
+    xor,
+)
+from .evaluator import evaluate
+from .lra import LinExpr, solve_linear_system
+
+__all__ = [
+    "Solver", "Model", "Result", "SAT", "UNSAT", "UNKNOWN",
+    "Context", "Term", "BOOL", "TRUE", "FALSE",
+    "bool_var", "not_", "and_", "or_", "implies", "iff", "xor", "ite",
+    "bv_sort", "bv_val", "bv_var", "bv_add", "bv_ite",
+    "eq", "ne", "ule", "ult", "uge", "ugt", "bit",
+    "at_most_k", "at_least_k", "exactly_k",
+    "evaluate", "default_context",
+    "LinExpr", "solve_linear_system",
+]

@@ -1,0 +1,170 @@
+"""Bit-blasting: rewrite bit-vector terms into pure boolean terms.
+
+The output language contains only boolean leaves — ``boolvar``, ``true``,
+``false`` and ``bit(bvvar, i)`` atoms — combined with the boolean connectives.
+Hash-consing in :mod:`repro.smt.terms` keeps shared sub-circuits (carry
+chains, comparator prefixes) shared, so the subsequent Tseitin transform
+introduces one auxiliary SAT variable per distinct gate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .terms import Term, and_, bit, iff, ite, not_, or_, xor
+
+__all__ = ["Blaster"]
+
+
+class Blaster:
+    """Stateful bit-blaster with shared memo tables across assertions."""
+
+    def __init__(self) -> None:
+        self._bool_memo: Dict[int, Term] = {}
+        self._bv_memo: Dict[int, Tuple[Term, ...]] = {}
+
+    def blast(self, term: Term) -> Term:
+        """Rewrite a boolean term so no bit-vector operators remain.
+
+        Uses an explicit work stack; network encodings produce term DAGs far
+        deeper than Python's default recursion limit.
+        """
+        memo = self._bool_memo
+        stack: List[Term] = [term]
+        while stack:
+            node = stack[-1]
+            if node.tid in memo:
+                stack.pop()
+                continue
+            kind = node.kind
+            if kind in ("true", "false", "boolvar"):
+                memo[node.tid] = node
+                stack.pop()
+                continue
+            if kind == "bit":
+                base = node.args[0]
+                if base.kind == "bvvar":
+                    memo[node.tid] = node
+                    stack.pop()
+                else:
+                    done, deps = self._bv_ready(base)
+                    if not done:
+                        stack.extend(deps)
+                        continue
+                    memo[node.tid] = self.bv_bits(base)[node.payload]
+                    stack.pop()
+                continue
+            if kind in ("eq", "ule", "ult"):
+                done_a, deps_a = self._bv_ready(node.args[0])
+                done_b, deps_b = self._bv_ready(node.args[1])
+                if not (done_a and done_b):
+                    stack.extend(deps_a + deps_b)
+                    continue
+                a = self.bv_bits(node.args[0])
+                b = self.bv_bits(node.args[1])
+                if kind == "eq":
+                    memo[node.tid] = and_(*[iff(x, y) for x, y in zip(a, b)])
+                else:
+                    memo[node.tid] = _unsigned_cmp(a, b,
+                                                   strict=kind == "ult")
+                stack.pop()
+                continue
+            # Pure boolean connective: ensure children are done first.
+            pending = [c for c in node.args if c.tid not in memo]
+            if pending:
+                stack.extend(pending)
+                continue
+            children = [memo[c.tid] for c in node.args]
+            if kind == "not":
+                out = not_(children[0])
+            elif kind == "and":
+                out = and_(*children)
+            elif kind == "or":
+                out = or_(*children)
+            elif kind == "iff":
+                out = iff(children[0], children[1])
+            elif kind == "ite":
+                out = ite(children[0], children[1], children[2])
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unexpected kind in blast: {kind}")
+            memo[node.tid] = out
+            stack.pop()
+        return memo[term.tid]
+
+    def bv_bits(self, term: Term) -> Tuple[Term, ...]:
+        """Bits (LSB first) of a bit-vector term, as boolean terms.
+
+        Any boolean conditions nested inside (``bvite`` guards) must already
+        be in the boolean memo; :meth:`_bv_ready` arranges that.
+        """
+        memo = self._bv_memo
+        cached = memo.get(term.tid)
+        if cached is not None:
+            return cached
+        kind = term.kind
+        if kind == "bvval":
+            ctx = term.ctx
+            value = term.payload
+            bits = tuple(
+                ctx.true if (value >> i) & 1 else ctx.false
+                for i in range(term.width)
+            )
+        elif kind == "bvvar":
+            bits = tuple(bit(term, i) for i in range(term.width))
+        elif kind == "bvite":
+            cond = self._bool_memo[term.args[0].tid]
+            then = self.bv_bits(term.args[1])
+            els = self.bv_bits(term.args[2])
+            bits = tuple(ite(cond, t, e) for t, e in zip(then, els))
+        elif kind == "bvadd":
+            a = self.bv_bits(term.args[0])
+            b = self.bv_bits(term.args[1])
+            bits = _ripple_add(a, b)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"not a bit-vector term: {term.kind}")
+        memo[term.tid] = bits
+        return bits
+
+    def _bv_ready(self, term: Term) -> Tuple[bool, List[Term]]:
+        """Check all boolean guards inside a bit-vector term are blasted.
+
+        Returns ``(ready, missing_guards)``; the caller pushes the missing
+        guards onto its work stack and retries.
+        """
+        missing: List[Term] = []
+        stack = [term]
+        seen = set()
+        while stack:
+            node = stack.pop()
+            if node.tid in seen or node.tid in self._bv_memo:
+                continue
+            seen.add(node.tid)
+            if node.kind == "bvite":
+                guard = node.args[0]
+                if guard.tid not in self._bool_memo:
+                    missing.append(guard)
+                stack.extend(node.args[1:])
+            elif node.kind == "bvadd":
+                stack.extend(node.args)
+        return (not missing, missing)
+
+
+def _ripple_add(a: Tuple[Term, ...], b: Tuple[Term, ...]) -> Tuple[Term, ...]:
+    """Modular ripple-carry addition (carry out of the MSB is discarded)."""
+    ctx = a[0].ctx
+    carry = ctx.false
+    out = []
+    for x, y in zip(a, b):
+        out.append(xor(xor(x, y), carry))
+        carry = or_(and_(x, y), and_(x, carry), and_(y, carry))
+    return tuple(out)
+
+
+def _unsigned_cmp(a: Tuple[Term, ...], b: Tuple[Term, ...],
+                  strict: bool) -> Term:
+    """``a < b`` (strict) or ``a <= b`` over LSB-first bit lists."""
+    ctx = a[0].ctx
+    acc = ctx.false if strict else ctx.true
+    for x, y in zip(a, b):  # LSB to MSB; MSB comparison dominates.
+        acc = or_(and_(not_(x), y), and_(iff(x, y), acc))
+    return acc

@@ -1,0 +1,78 @@
+"""Reference evaluation of terms under a concrete variable assignment.
+
+Used for model evaluation after a SAT answer and as the ground-truth oracle
+in the bit-blasting property tests: any term evaluated here must agree with
+the value recovered from the CNF pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+from .terms import Term
+
+__all__ = ["evaluate"]
+
+Value = Union[bool, int]
+
+
+def evaluate(term: Term, env: Dict[str, Value]) -> Value:
+    """Evaluate ``term`` with variables bound by name in ``env``.
+
+    Booleans evaluate to ``bool``, bit-vectors to ``int`` (masked to their
+    width).  Missing variables default to ``False`` / ``0`` — convenient for
+    partial models, where unconstrained variables are don't-cares.
+    """
+    memo: Dict[int, Value] = {}
+    stack: List[Term] = [term]
+    while stack:
+        node = stack[-1]
+        if node.tid in memo:
+            stack.pop()
+            continue
+        kind = node.kind
+        if kind == "true":
+            memo[node.tid] = True
+        elif kind == "false":
+            memo[node.tid] = False
+        elif kind == "boolvar":
+            memo[node.tid] = bool(env.get(node.payload, False))
+        elif kind == "bvval":
+            memo[node.tid] = node.payload
+        elif kind == "bvvar":
+            mask = (1 << node.width) - 1
+            memo[node.tid] = int(env.get(node.payload, 0)) & mask
+        else:
+            pending = [c for c in node.args if c.tid not in memo]
+            if pending:
+                stack.extend(pending)
+                continue
+            vals = [memo[c.tid] for c in node.args]
+            memo[node.tid] = _apply(node, vals)
+        stack.pop()
+    return memo[term.tid]
+
+
+def _apply(node: Term, vals: list) -> Value:
+    kind = node.kind
+    if kind == "not":
+        return not vals[0]
+    if kind == "and":
+        return all(vals)
+    if kind == "or":
+        return any(vals)
+    if kind == "iff":
+        return vals[0] == vals[1]
+    if kind == "ite" or kind == "bvite":
+        return vals[1] if vals[0] else vals[2]
+    if kind == "eq":
+        return vals[0] == vals[1]
+    if kind == "ule":
+        return vals[0] <= vals[1]
+    if kind == "ult":
+        return vals[0] < vals[1]
+    if kind == "bvadd":
+        return (vals[0] + vals[1]) & ((1 << node.width) - 1)
+    if kind == "bit":
+        return bool((vals[0] >> node.payload) & 1)
+    raise TypeError(f"cannot evaluate kind {kind}")  # pragma: no cover

@@ -1,0 +1,122 @@
+"""Exact linear rational arithmetic for the lazy load-balancing check.
+
+The load-balancing property (§5 of the paper) introduces real-valued flow
+totals.  Given a concrete boolean forwarding assignment those totals are the
+unique solution of a linear system, so we do not need a full simplex inside
+the SAT search: the verifier solves the booleans first, then calls
+:func:`solve_linear_system` with exact ``Fraction`` arithmetic and blocks the
+assignment if an inequality fails (a classic lazy DPLL(T) refinement).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["LinExpr", "solve_linear_system"]
+
+
+class LinExpr:
+    """An affine expression ``sum(coeff_i * var_i) + const`` over rationals."""
+
+    def __init__(self, coeffs: Optional[Dict[str, Fraction]] = None,
+                 const: Fraction = Fraction(0)) -> None:
+        self.coeffs: Dict[str, Fraction] = dict(coeffs or {})
+        self.const = Fraction(const)
+
+    @classmethod
+    def var(cls, name: str) -> "LinExpr":
+        return cls({name: Fraction(1)})
+
+    @classmethod
+    def constant(cls, value) -> "LinExpr":
+        return cls({}, Fraction(value))
+
+    def __add__(self, other: "LinExpr") -> "LinExpr":
+        coeffs = dict(self.coeffs)
+        for name, c in other.coeffs.items():
+            coeffs[name] = coeffs.get(name, Fraction(0)) + c
+        return LinExpr(coeffs, self.const + other.const)
+
+    def __sub__(self, other: "LinExpr") -> "LinExpr":
+        return self + other * Fraction(-1)
+
+    def __mul__(self, scalar) -> "LinExpr":
+        k = Fraction(scalar)
+        return LinExpr({n: c * k for n, c in self.coeffs.items()},
+                       self.const * k)
+
+    __rmul__ = __mul__
+
+    def variables(self) -> List[str]:
+        return [n for n, c in self.coeffs.items() if c != 0]
+
+    def evaluate(self, env: Dict[str, Fraction]) -> Fraction:
+        total = self.const
+        for name, c in self.coeffs.items():
+            total += c * env[name]
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [f"{c}*{n}" for n, c in sorted(self.coeffs.items())]
+        parts.append(str(self.const))
+        return " + ".join(parts)
+
+
+def solve_linear_system(
+        equations: Sequence[Tuple[LinExpr, LinExpr]],
+) -> Optional[Dict[str, Fraction]]:
+    """Solve ``lhs = rhs`` equations by Gauss-Jordan elimination.
+
+    Returns a variable assignment, with free variables (if the system is
+    under-determined) fixed to zero, or ``None`` if inconsistent.
+    """
+    variables = sorted({
+        name
+        for lhs, rhs in equations
+        for name in (*lhs.variables(), *rhs.variables())
+    })
+    index = {name: i for i, name in enumerate(variables)}
+    n = len(variables)
+    rows: List[List[Fraction]] = []
+    for lhs, rhs in equations:
+        row = [Fraction(0)] * (n + 1)
+        diff = lhs - rhs
+        for name, c in diff.coeffs.items():
+            if c != 0:
+                row[index[name]] += c
+        row[n] = -diff.const
+        rows.append(row)
+
+    pivot_row = 0
+    pivot_cols: List[int] = []
+    for col in range(n):
+        pivot = next((r for r in range(pivot_row, len(rows))
+                      if rows[r][col] != 0), None)
+        if pivot is None:
+            continue
+        rows[pivot_row], rows[pivot] = rows[pivot], rows[pivot_row]
+        factor = rows[pivot_row][col]
+        rows[pivot_row] = [x / factor for x in rows[pivot_row]]
+        for r in range(len(rows)):
+            if r != pivot_row and rows[r][col] != 0:
+                scale = rows[r][col]
+                rows[r] = [a - scale * b
+                           for a, b in zip(rows[r], rows[pivot_row])]
+        pivot_cols.append(col)
+        pivot_row += 1
+        if pivot_row == len(rows):
+            break
+
+    # Inconsistency: a zero row with non-zero constant.
+    for r in range(pivot_row, len(rows)):
+        if all(x == 0 for x in rows[r][:n]) and rows[r][n] != 0:
+            return None
+
+    env = {name: Fraction(0) for name in variables}
+    for r, col in enumerate(pivot_cols):
+        value = rows[r][n]
+        for other in range(col + 1, n):
+            value -= rows[r][other] * env[variables[other]]
+        env[variables[col]] = value
+    return env

@@ -1,0 +1,5 @@
+"""Pure-Python CDCL SAT solver."""
+
+from .solver import SatSolver
+
+__all__ = ["SatSolver"]

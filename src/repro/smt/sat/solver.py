@@ -1,0 +1,629 @@
+"""A CDCL SAT solver in pure Python.
+
+Implements the standard modern architecture: two-watched-literal propagation,
+first-UIP conflict analysis with recursive clause minimization, VSIDS decision
+ordering with phase saving, Luby restarts and activity-driven deletion of
+learned clauses.  The design follows MiniSat; the code is tuned for CPython
+(flat lists of ints, literal encoding ``2*var + sign``, minimal attribute
+lookups in the propagation loop).
+
+The solver answers ``True`` (satisfiable), ``False`` (unsatisfiable) or
+``None`` (conflict budget exhausted).  It supports solving under assumptions
+and incremental clause addition between calls, which the load-balancing
+property uses for its lazy linear-arithmetic refinement loop.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["SatSolver"]
+
+_UNDEF = -1
+
+
+class _VarOrder:
+    """Indexed binary max-heap over variable activities.
+
+    Unlike ``heapq`` with stale entries, each variable appears at most
+    once and activity bumps adjust its position in place — essential when
+    backtracking re-inserts thousands of variables per conflict.
+    """
+
+    __slots__ = ("heap", "position", "activity")
+
+    def __init__(self, activity: List[float]) -> None:
+        self.heap: List[int] = []
+        self.position: List[int] = []
+        self.activity = activity
+
+    def grow(self, var: int) -> None:
+        while len(self.position) <= var:
+            self.position.append(-1)
+
+    def push(self, var: int) -> None:
+        if self.position[var] != -1:
+            return
+        self.heap.append(var)
+        self.position[var] = len(self.heap) - 1
+        self._sift_up(len(self.heap) - 1)
+
+    def pop(self) -> int:
+        heap = self.heap
+        top = heap[0]
+        last = heap.pop()
+        self.position[top] = -1
+        if heap:
+            heap[0] = last
+            self.position[last] = 0
+            self._sift_down(0)
+        return top
+
+    def bump(self, var: int) -> None:
+        pos = self.position[var]
+        if pos != -1:
+            self._sift_up(pos)
+
+    def __bool__(self) -> bool:
+        return bool(self.heap)
+
+    def _sift_up(self, pos: int) -> None:
+        heap = self.heap
+        position = self.position
+        act = self.activity
+        var = heap[pos]
+        key = act[var]
+        while pos > 0:
+            parent = (pos - 1) >> 1
+            pvar = heap[parent]
+            if act[pvar] >= key:
+                break
+            heap[pos] = pvar
+            position[pvar] = pos
+            pos = parent
+        heap[pos] = var
+        position[var] = pos
+
+    def _sift_down(self, pos: int) -> None:
+        heap = self.heap
+        position = self.position
+        act = self.activity
+        size = len(heap)
+        var = heap[pos]
+        key = act[var]
+        while True:
+            child = 2 * pos + 1
+            if child >= size:
+                break
+            right = child + 1
+            if right < size and act[heap[right]] > act[heap[child]]:
+                child = right
+            cvar = heap[child]
+            if act[cvar] <= key:
+                break
+            heap[pos] = cvar
+            position[cvar] = pos
+            pos = child
+        heap[pos] = var
+        position[var] = pos
+
+
+def _luby_sequence(x: int) -> int:
+    """The x-th element (0-based) of the Luby restart sequence.
+
+    Yields 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...; the classic MiniSat recurrence.
+    """
+    size, seq = 1, 0
+    while size < x + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) >> 1
+        seq -= 1
+        x = x % size
+    return 1 << seq
+
+
+class SatSolver:
+    """CDCL solver over variables numbered from 1 (DIMACS convention)."""
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        self._assign: List[int] = []      # per var: 0 false, 1 true, -1 undef
+        self._level: List[int] = []       # per var: decision level
+        self._reason: List[Optional[list]] = []
+        self._phase: List[int] = []       # saved phase per var (0/1)
+        self._activity: List[float] = []
+        self._var_inc = 1.0
+        # watches[lit]: clauses to inspect when ``lit`` becomes true
+        # (i.e. clauses watching ``lit ^ 1``), as [clause, blocker] pairs.
+        self._watches: List[List[list]] = [[], []]
+        # binary[lit]: (implied, clause) pairs — two-literal clauses get a
+        # dedicated implication list and never move watches.
+        self._binary: List[List[tuple]] = [[], []]
+        self._clauses: List[list] = []    # problem clauses
+        self._learnts: List[list] = []
+        self._cla_inc = 1.0
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._qhead = 0
+        self._order = _VarOrder(self._activity)
+        self._unsat = False
+        self._seen: List[int] = []
+        self._clause_act: dict = {}
+        # Statistics (exposed for benchmarks and tests).
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+        self.restarts = 0
+        self.learned_deleted = 0
+
+    # ------------------------------------------------------------------
+    # Variables and clauses
+    # ------------------------------------------------------------------
+
+    def ensure_vars(self, n: int) -> None:
+        """Grow the variable pool so DIMACS vars ``1..n`` are usable."""
+        while self.num_vars < n:
+            self.num_vars += 1
+            self._assign.append(_UNDEF)
+            self._level.append(0)
+            self._reason.append(None)
+            self._phase.append(0)
+            self._activity.append(0.0)
+            self._seen.append(0)
+            self._watches.append([])
+            self._watches.append([])
+            self._binary.append([])
+            self._binary.append([])
+            self._order.grow(self.num_vars - 1)
+            self._order.push(self.num_vars - 1)
+
+    def add_clause(self, dimacs_lits: Iterable[int]) -> bool:
+        """Add a clause (DIMACS literals).  Returns False iff now trivially
+        unsatisfiable.  May be called between :meth:`solve` calls."""
+        if self._unsat:
+            return False
+        self._cancel_until(0)
+        lits = []
+        seen = set()
+        for dl in dimacs_lits:
+            var = abs(dl)
+            self.ensure_vars(var)
+            lit = (var - 1) * 2 + (0 if dl > 0 else 1)
+            if lit ^ 1 in seen:
+                return True  # tautology
+            if lit in seen:
+                continue
+            val = self._lit_value(lit)
+            if val == 1 and self._level[lit >> 1] == 0:
+                return True  # already satisfied at root
+            if val == 0 and self._level[lit >> 1] == 0:
+                continue  # falsified at root; drop literal
+            seen.add(lit)
+            lits.append(lit)
+        if not lits:
+            self._unsat = True
+            return False
+        if len(lits) == 1:
+            if not self._enqueue(lits[0], None):
+                self._unsat = True
+                return False
+            if self._propagate() is not None:
+                self._unsat = True
+                return False
+            return True
+        self._attach(lits)
+        self._clauses.append(lits)
+        return True
+
+    def _attach(self, clause: list) -> None:
+        if len(clause) == 2:
+            a, b = clause
+            self._binary[a ^ 1].append((b, clause))
+            self._binary[b ^ 1].append((a, clause))
+            return
+        self._watches[clause[0] ^ 1].append([clause, clause[1]])
+        self._watches[clause[1] ^ 1].append([clause, clause[0]])
+
+    # ------------------------------------------------------------------
+    # Assignment plumbing
+    # ------------------------------------------------------------------
+
+    def _lit_value(self, lit: int) -> int:
+        v = self._assign[lit >> 1]
+        if v == _UNDEF:
+            return _UNDEF
+        return v ^ (lit & 1)
+
+    def _enqueue(self, lit: int, reason: Optional[list]) -> bool:
+        val = self._lit_value(lit)
+        if val != _UNDEF:
+            return val == 1
+        var = lit >> 1
+        self._assign[var] = 1 - (lit & 1)
+        self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason
+        self._trail.append(lit)
+        return True
+
+    def _cancel_until(self, level: int) -> None:
+        if len(self._trail_lim) <= level:
+            return
+        bound = self._trail_lim[level]
+        trail = self._trail
+        assign = self._assign
+        phase = self._phase
+        order = self._order
+        for i in range(len(trail) - 1, bound - 1, -1):
+            lit = trail[i]
+            var = lit >> 1
+            phase[var] = assign[var]
+            assign[var] = _UNDEF
+            self._reason[var] = None
+            order.push(var)
+        del trail[bound:]
+        del self._trail_lim[level:]
+        self._qhead = len(trail)
+
+    # ------------------------------------------------------------------
+    # VSIDS order
+    # ------------------------------------------------------------------
+
+    def _pick_branch_var(self) -> int:
+        order = self._order
+        assign = self._assign
+        while order:
+            var = order.pop()
+            if assign[var] == _UNDEF:
+                return var
+        return _UNDEF
+
+    def _bump_var(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            inv = 1e-100
+            for i in range(self.num_vars):
+                self._activity[i] *= inv
+            self._var_inc *= inv
+        self._order.bump(var)
+
+    # ------------------------------------------------------------------
+    # Propagation
+    # ------------------------------------------------------------------
+
+    def _propagate(self) -> Optional[list]:
+        """Unit propagation; returns a conflicting clause or None.
+
+        Binary clauses propagate through dedicated implication lists; longer
+        clauses use two watched literals with cached blockers (a satisfied
+        blocker skips the clause without touching it).
+        """
+        watches = self._watches
+        binary = self._binary
+        assign = self._assign
+        trail = self._trail
+        level = self._level
+        reason = self._reason
+        qhead = self._qhead
+        while qhead < len(trail):
+            lit = trail[qhead]
+            qhead += 1
+            self.propagations += 1
+            level_now = len(self._trail_lim)
+            # Binary implications first (cheap, cache-friendly).
+            for implied, clause in binary[lit]:
+                var = implied >> 1
+                value = assign[var]
+                if value == _UNDEF:
+                    assign[var] = 1 - (implied & 1)
+                    level[var] = level_now
+                    reason[var] = clause
+                    trail.append(implied)
+                elif (value ^ (implied & 1)) == 0:
+                    self._qhead = len(trail)
+                    return clause
+            # ``lit`` became true, so the in-clause literal ``lit ^ 1``
+            # became false; clauses watching it live in watches[lit].
+            false_lit = lit ^ 1
+            watch_list = watches[lit]
+            i = 0
+            j = 0
+            n = len(watch_list)
+            while i < n:
+                entry = watch_list[i]
+                i += 1
+                blocker = entry[1]
+                vb = assign[blocker >> 1]
+                if vb != _UNDEF and (vb ^ (blocker & 1)) == 1:
+                    watch_list[j] = entry
+                    j += 1
+                    continue
+                clause = entry[0]
+                # Normalize: the false literal goes to slot 1.
+                if clause[0] == false_lit:
+                    clause[0] = clause[1]
+                    clause[1] = false_lit
+                first = clause[0]
+                v0 = assign[first >> 1]
+                if v0 != _UNDEF and (v0 ^ (first & 1)) == 1:
+                    entry[1] = first
+                    watch_list[j] = entry
+                    j += 1
+                    continue
+                # Look for a new literal to watch.
+                found = False
+                for k in range(2, len(clause)):
+                    lk = clause[k]
+                    vk = assign[lk >> 1]
+                    if vk == _UNDEF or (vk ^ (lk & 1)) == 1:
+                        clause[1] = lk
+                        clause[k] = false_lit
+                        entry[1] = first
+                        watches[lk ^ 1].append(entry)
+                        found = True
+                        break
+                if found:
+                    continue
+                entry[1] = first
+                watch_list[j] = entry
+                j += 1
+                if v0 != _UNDEF:  # first is false: conflict
+                    while i < n:
+                        watch_list[j] = watch_list[i]
+                        j += 1
+                        i += 1
+                    del watch_list[j:]
+                    self._qhead = len(trail)
+                    return clause
+                # Unit: enqueue first.
+                var = first >> 1
+                assign[var] = 1 - (first & 1)
+                level[var] = level_now
+                reason[var] = clause
+                trail.append(first)
+            del watch_list[j:]
+        self._qhead = qhead
+        return None
+
+    # ------------------------------------------------------------------
+    # Conflict analysis
+    # ------------------------------------------------------------------
+
+    def _analyze(self, conflict: list) -> tuple:
+        """First-UIP learning.  Returns (learnt_clause, backtrack_level)."""
+        seen = self._seen
+        trail = self._trail
+        level = self._level
+        cur_level = len(self._trail_lim)
+        learnt = [0]  # slot 0 for the asserting literal
+        counter = 0
+        lit = -1
+        index = len(trail) - 1
+        reason = conflict
+        while True:
+            self._bump_clause(reason)
+            start = 1 if lit != -1 else 0
+            for k in range(start, len(reason)):
+                q = reason[k]
+                var = q >> 1
+                if not seen[var] and level[var] > 0:
+                    seen[var] = 1
+                    self._bump_var(var)
+                    if level[var] >= cur_level:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            while not seen[trail[index] >> 1]:
+                index -= 1
+            lit = trail[index]
+            index -= 1
+            var = lit >> 1
+            seen[var] = 0
+            counter -= 1
+            if counter == 0:
+                break
+            reason = self._reason[var]
+            # Reorder the reason clause so its asserting literal is first.
+            if reason[0] != lit:
+                for k in range(1, len(reason)):
+                    if reason[k] == lit:
+                        reason[0], reason[k] = reason[k], reason[0]
+                        break
+        learnt[0] = lit ^ 1
+        # Mark remaining literals for minimization bookkeeping.
+        for q in learnt[1:]:
+            seen[q >> 1] = 1
+        minimized = [learnt[0]]
+        for q in learnt[1:]:
+            if not self._redundant(q):
+                minimized.append(q)
+        for q in learnt[1:]:
+            seen[q >> 1] = 0
+        learnt = minimized
+        if len(learnt) == 1:
+            back_level = 0
+        else:
+            # Find the second-highest decision level in the clause.
+            max_i = 1
+            for k in range(2, len(learnt)):
+                if level[learnt[k] >> 1] > level[learnt[max_i] >> 1]:
+                    max_i = k
+            learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
+            back_level = level[learnt[1] >> 1]
+        return learnt, back_level
+
+    def _redundant(self, lit: int) -> bool:
+        """Local minimization: drop literals implied by others in the clause."""
+        reason = self._reason[lit >> 1]
+        if reason is None:
+            return False
+        seen = self._seen
+        level = self._level
+        for q in reason:
+            if q == (lit ^ 1) or q == lit:
+                continue
+            var = q >> 1
+            if not seen[var] and level[var] > 0:
+                return False
+        return True
+
+    def _bump_clause(self, clause: list) -> None:
+        # Clause activities are tracked in a side table keyed by id() to keep
+        # the clause representation a bare list for propagation speed.
+        act = self._clause_act.get(id(clause), 0.0) + self._cla_inc
+        self._clause_act[id(clause)] = act
+        if act > 1e20:
+            inv = 1e-20
+            for key in self._clause_act:
+                self._clause_act[key] *= inv
+            self._cla_inc *= inv
+
+    # ------------------------------------------------------------------
+    # Learned clause management
+    # ------------------------------------------------------------------
+
+    def _reduce_db(self) -> None:
+        learnts = self._learnts
+        act = self._clause_act
+        locked = set()
+        for var in range(self.num_vars):
+            r = self._reason[var]
+            if r is not None:
+                locked.add(id(r))
+        learnts.sort(key=lambda c: act.get(id(c), 0.0))
+        keep_from = len(learnts) // 2
+        removed = []
+        kept = []
+        for i, clause in enumerate(learnts):
+            if i < keep_from and len(clause) > 2 and id(clause) not in locked:
+                removed.append(clause)
+            else:
+                kept.append(clause)
+        for clause in removed:
+            self._detach(clause)
+            act.pop(id(clause), None)
+        self._learnts = kept
+        self.learned_deleted += len(removed)
+
+    def _detach(self, clause: list) -> None:
+        for lit in (clause[0], clause[1]):
+            lst = self._watches[lit ^ 1]
+            for idx, entry in enumerate(lst):
+                if entry[0] is clause:
+                    lst[idx] = lst[-1]
+                    lst.pop()
+                    break
+
+    # ------------------------------------------------------------------
+    # Main search
+    # ------------------------------------------------------------------
+
+    def solve(self, assumptions: Sequence[int] = (),
+              conflict_budget: Optional[int] = None) -> Optional[bool]:
+        """Search for a model.
+
+        Args:
+            assumptions: DIMACS literals assumed true for this call only.
+            conflict_budget: abort with ``None`` after this many conflicts.
+
+        Returns:
+            True if satisfiable, False if unsatisfiable (under assumptions),
+            None if the budget ran out.
+        """
+        if self._unsat:
+            return False
+        self._cancel_until(0)
+        if self._propagate() is not None:
+            self._unsat = True
+            return False
+        assumed = []
+        for dl in assumptions:
+            var = abs(dl)
+            self.ensure_vars(var)
+            assumed.append((var - 1) * 2 + (0 if dl > 0 else 1))
+
+        budget_left = conflict_budget
+        restart_index = 0
+        restart_limit = 128 * _luby_sequence(restart_index)
+        conflicts_here = 0
+        max_learnts = max(2000, len(self._clauses) // 2)
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.conflicts += 1
+                conflicts_here += 1
+                if budget_left is not None:
+                    budget_left -= 1
+                    if budget_left <= 0:
+                        self._cancel_until(0)
+                        return None
+                if not self._trail_lim:
+                    self._unsat = True
+                    return False
+                if len(self._trail_lim) <= len(assumed):
+                    # Conflict forced by the assumptions alone.
+                    self._cancel_until(0)
+                    return False
+                learnt, back_level = self._analyze(conflict)
+                back_level = max(back_level, 0)
+                self._cancel_until(back_level)
+                if len(learnt) == 1:
+                    # Unit learnt: fix at the root; assumptions get re-placed
+                    # by the decision loop since the trail is now empty.
+                    self._cancel_until(0)
+                    if not self._enqueue(learnt[0], None):
+                        self._unsat = True
+                        return False
+                else:
+                    self._attach(learnt)
+                    self._learnts.append(learnt)
+                    self._clause_act[id(learnt)] = self._cla_inc
+                    self._enqueue(learnt[0], learnt)
+                self._var_inc /= 0.95
+                self._cla_inc /= 0.999
+                if len(self._learnts) > max_learnts:
+                    self._reduce_db()
+                    max_learnts = int(max_learnts * 1.3)
+                if conflicts_here >= restart_limit:
+                    conflicts_here = 0
+                    restart_index += 1
+                    restart_limit = 128 * _luby_sequence(restart_index)
+                    self.restarts += 1
+                    self._cancel_until(0)
+                continue
+            # No conflict: place assumptions, then decide.
+            if len(self._trail_lim) < len(assumed):
+                lit = assumed[len(self._trail_lim)]
+                val = self._lit_value(lit)
+                if val == 1:
+                    self._trail_lim.append(len(self._trail))
+                    continue
+                if val == 0:
+                    self._cancel_until(0)
+                    return False
+                self._trail_lim.append(len(self._trail))
+                self._enqueue(lit, None)
+                continue
+            var = self._pick_branch_var()
+            if var == _UNDEF:
+                return True
+            self.decisions += 1
+            self._trail_lim.append(len(self._trail))
+            lit = var * 2 + (1 - self._phase[var])
+            self._enqueue(lit, None)
+
+    # ------------------------------------------------------------------
+    # Model access
+    # ------------------------------------------------------------------
+
+    def model_value(self, dimacs_var: int) -> bool:
+        """Value of a variable in the most recent satisfying assignment."""
+        var = dimacs_var - 1
+        if var >= self.num_vars:
+            return False
+        val = self._assign[var]
+        if val == _UNDEF:
+            return False
+        return val == 1

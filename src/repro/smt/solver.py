@@ -1,0 +1,162 @@
+"""User-facing SMT solver facade.
+
+Couples the term language, bit-blaster, Tseitin transform and CDCL core into
+a small Z3-like API::
+
+    s = Solver()
+    s.add(eq(x, bv_val(3, 8)))
+    if s.check() == SAT:
+        print(s.model().eval(x))
+
+Checks are incremental in the clause-adding sense: terms asserted after a
+``check`` extend the same CNF (the CDCL core supports adding clauses between
+calls), which the lazy load-balancing refinement loop relies on.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Union
+
+from .bitblast import Blaster
+from .evaluator import evaluate
+from .sat import SatSolver
+from .terms import Term
+from .tseitin import CnfBuilder
+
+__all__ = ["Solver", "Model", "Result", "SAT", "UNSAT", "UNKNOWN"]
+
+
+class Result:
+    """Tri-state check outcome, compares equal to itself only."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __bool__(self) -> bool:
+        return self.name == "sat"
+
+
+SAT = Result("sat")
+UNSAT = Result("unsat")
+UNKNOWN = Result("unknown")
+
+
+class Model:
+    """A satisfying assignment, queried by variable or by term."""
+
+    def __init__(self, env: Dict[str, Union[bool, int]]) -> None:
+        self._env = env
+
+    def value(self, name: str, default=None):
+        """Raw value of a named variable (bool or int), or ``default``."""
+        return self._env.get(name, default)
+
+    def eval(self, term: Term) -> Union[bool, int]:
+        """Evaluate an arbitrary term under this model."""
+        return evaluate(term, self._env)
+
+    def env(self) -> Dict[str, Union[bool, int]]:
+        """A copy of the raw name → value map (only constrained vars)."""
+        return dict(self._env)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        items = ", ".join(f"{k}={v}" for k, v in sorted(self._env.items()))
+        return f"<Model {items}>"
+
+
+class Solver:
+    """Assert terms, check satisfiability, extract models.
+
+    Args:
+        conflict_budget: optional per-check CDCL conflict cap; exceeded
+            checks return :data:`UNKNOWN`.
+    """
+
+    def __init__(self, conflict_budget: Optional[int] = None) -> None:
+        self._blaster = Blaster()
+        self._cnf = CnfBuilder()
+        self._sat = SatSolver()
+        self._num_clauses_loaded = 0
+        self._assertions: List[Term] = []
+        self.conflict_budget = conflict_budget
+        self.last_check_seconds = 0.0
+
+    # ------------------------------------------------------------------
+
+    def add(self, *terms: Term) -> None:
+        """Assert one or more boolean terms."""
+        for term in terms:
+            if not term.is_bool:
+                raise TypeError("assertions must be boolean terms")
+            self._assertions.append(term)
+            blasted = self._blaster.blast(term)
+            self._cnf.assert_term(blasted)
+
+    def assertions(self) -> List[Term]:
+        return list(self._assertions)
+
+    def check(self, assumptions: Sequence[Term] = ()) -> Result:
+        """Solve the current assertions (optionally under assumptions)."""
+        assumption_lits = []
+        for term in assumptions:
+            blasted = self._blaster.blast(term)
+            assumption_lits.append(self._cnf.literal_for(blasted))
+        self._load_clauses()
+        start = time.perf_counter()
+        outcome = self._sat.solve(assumption_lits,
+                                  conflict_budget=self.conflict_budget)
+        self.last_check_seconds = time.perf_counter() - start
+        if outcome is None:
+            return UNKNOWN
+        return SAT if outcome else UNSAT
+
+    def model(self) -> Model:
+        """Model of the most recent :data:`SAT` check."""
+        env: Dict[str, Union[bool, int]] = {}
+        bv_parts: Dict[str, int] = {}
+        for var, leaf in self._cnf.leaf_of_var.items():
+            val = self._sat.model_value(var)
+            if leaf.kind == "boolvar":
+                env[leaf.payload] = val
+            else:  # bit(bvvar, i)
+                name = leaf.args[0].payload
+                if val:
+                    bv_parts[name] = bv_parts.get(name, 0) | (1 << leaf.payload)
+                else:
+                    bv_parts.setdefault(name, 0)
+        env.update(bv_parts)
+        return Model(env)
+
+    # ------------------------------------------------------------------
+    # Introspection used by benchmarks and tests
+    # ------------------------------------------------------------------
+
+    @property
+    def num_variables(self) -> int:
+        return self._cnf.num_vars
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self._cnf.clauses)
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        return {
+            "vars": self._cnf.num_vars,
+            "clauses": len(self._cnf.clauses),
+            "conflicts": self._sat.conflicts,
+            "decisions": self._sat.decisions,
+            "propagations": self._sat.propagations,
+            "restarts": self._sat.restarts,
+        }
+
+    def _load_clauses(self) -> None:
+        clauses = self._cnf.clauses
+        self._sat.ensure_vars(self._cnf.num_vars)
+        for i in range(self._num_clauses_loaded, len(clauses)):
+            self._sat.add_clause(clauses[i])
+        self._num_clauses_loaded = len(clauses)

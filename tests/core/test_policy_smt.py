@@ -1,0 +1,168 @@
+"""Symbolic policy evaluation must agree with concrete policy evaluation."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.policy_smt import (
+    PacketVars,
+    acl_term,
+    apply_route_map,
+    fbm_const,
+    fbm_symbolic,
+)
+from repro.core.records import FieldSet, RecordFactory, Widths
+from repro.net import ip as iplib
+from repro.net.device import DeviceConfig
+from repro.net.policy import (
+    Acl,
+    AclRule,
+    CommunityList,
+    PrefixList,
+    PrefixListEntry,
+    RouteMap,
+    RouteMapClause,
+)
+from repro.net.route import Route
+from repro.smt import FALSE, TRUE, bv_val, bv_var, evaluate
+
+FACTORY = RecordFactory(Widths(), FieldSet(
+    local_pref=True, med=True, communities=("65001:1", "65001:2")))
+
+DST = bv_var("ps_dst", 32)
+PACKET = PacketVars(dst_ip=DST, src_ip=bv_var("ps_src", 32),
+                    protocol=bv_var("ps_proto", 8),
+                    dst_port=bv_var("ps_port", 16),
+                    src_port=bv_val(0, 16))
+
+
+@settings(max_examples=120, deadline=None)
+@given(value=st.integers(0, iplib.MAX_IP),
+       network=st.integers(0, iplib.MAX_IP),
+       length=st.integers(0, 32))
+def test_fbm_const_matches_prefix_contains(value, network, length):
+    term = fbm_const(DST, iplib.network_of(network, length), length)
+    got = evaluate(term, {"ps_dst": value})
+    assert got == iplib.prefix_contains(network, length, value)
+
+
+@settings(max_examples=120, deadline=None)
+@given(prefix=st.integers(0, iplib.MAX_IP),
+       value=st.integers(0, iplib.MAX_IP),
+       length=st.integers(0, 32))
+def test_fbm_symbolic_matches_prefix_contains(prefix, value, length):
+    pvar = bv_var("ps_pfx", 32)
+    lvar = bv_var("ps_len", 6)
+    term = fbm_symbolic(pvar, DST, lvar)
+    got = evaluate(term, {"ps_pfx": prefix, "ps_dst": value,
+                          "ps_len": length})
+    expected = iplib.network_of(prefix, length) == iplib.network_of(value,
+                                                                    length)
+    assert got == expected
+
+
+def make_device():
+    dev = DeviceConfig(hostname="ps")
+    dev.prefix_lists["P10"] = PrefixList("P10", (
+        PrefixListEntry("deny", iplib.parse_ip("10.10.0.0"), 16,
+                        ge=16, le=32),
+        PrefixListEntry("permit", iplib.parse_ip("10.0.0.0"), 8,
+                        ge=8, le=32),
+    ))
+    dev.community_lists["C1"] = CommunityList("C1",
+                                              communities=("65001:1",))
+    dev.route_maps["RM"] = RouteMap("RM", (
+        RouteMapClause(seq=10, action="deny",
+                       match_community_list="C1"),
+        RouteMapClause(seq=20, action="permit", match_prefix_list="P10",
+                       set_local_pref=250, set_metric=7,
+                       add_communities=("65001:2",)),
+        RouteMapClause(seq=30, action="deny"),
+    ))
+    return dev
+
+
+@settings(max_examples=150, deadline=None)
+@given(dst=st.integers(0, iplib.MAX_IP), length=st.integers(8, 32),
+       comm1=st.booleans(), lp=st.integers(0, 300),
+       metric=st.integers(0, 30))
+def test_route_map_symbolic_matches_concrete(dst, length, comm1, lp,
+                                             metric):
+    dev = make_device()
+    rmap = dev.route_maps["RM"]
+    # Symbolic: a concrete record pushed through the symbolic transform.
+    record = FACTORY.concrete(
+        "in", valid=TRUE, prefix_len=length, local_pref=lp, metric=metric,
+        communities={"65001:1": TRUE if comm1 else FALSE,
+                     "65001:2": FALSE})
+    out = apply_route_map(FACTORY, dev, rmap, record, DST, hoisted=True)
+    env = {"ps_dst": dst}
+    sym_valid = evaluate(out.valid, env)
+    # Concrete: the simulator's route-map evaluation on the route whose
+    # prefix is the destination's covering prefix of the same length.
+    network = iplib.network_of(dst, length)
+    comms = frozenset({"65001:1"} if comm1 else set())
+    route = Route(network=network, length=length, protocol="bgp", ad=20,
+                  local_pref=lp, metric=metric, communities=comms)
+    concrete = rmap.evaluate(route, dev)
+    assert sym_valid == (concrete is not None)
+    if concrete is not None:
+        assert evaluate(out.local_pref, env) == concrete.local_pref
+        assert evaluate(out.metric, env) == concrete.metric
+        got_comms = {c for c, t in out.communities.items()
+                     if evaluate(t, env)}
+        assert got_comms == set(concrete.communities)
+
+
+@settings(max_examples=150, deadline=None)
+@given(dst=st.integers(0, iplib.MAX_IP),
+       src=st.integers(0, iplib.MAX_IP),
+       proto=st.sampled_from([0, 1, 6, 17]),
+       port=st.integers(0, 65535))
+def test_acl_term_matches_concrete_permits(dst, src, proto, port):
+    acl = Acl("A", (
+        AclRule("deny", dst_network=iplib.parse_ip("172.16.0.0"),
+                dst_length=12),
+        AclRule("deny", protocol=6, dst_port_low=22, dst_port_high=22),
+        AclRule("permit", src_network=iplib.parse_ip("10.0.0.0"),
+                src_length=8),
+        AclRule("permit", dst_network=iplib.parse_ip("8.0.0.0"),
+                dst_length=8),
+    ))
+    term = acl_term(acl, PACKET)
+    env = {"ps_dst": dst, "ps_src": src, "ps_proto": proto,
+           "ps_port": port}
+    assert evaluate(term, env) == acl.permits(dst, src, proto, port)
+
+
+def test_empty_acl_denies():
+    assert acl_term(Acl("E"), PACKET) is FALSE
+
+
+def test_route_map_none_is_identity():
+    record = FACTORY.concrete("in", valid=TRUE, prefix_len=24)
+    out = apply_route_map(FACTORY, make_device(), None, record, DST,
+                          hoisted=True)
+    assert out is record
+
+
+@settings(max_examples=80, deadline=None)
+@given(dst=st.integers(0, iplib.MAX_IP), length=st.integers(0, 32))
+def test_prefix_list_unhoisted_matches_hoisted_when_prefix_covers(dst,
+                                                                  length):
+    """With an explicit prefix equal to the destination's covering prefix,
+    the unhoisted and hoisted prefix-list evaluations agree — the §6.1
+    substitution argument."""
+    from repro.core.policy_smt import prefix_list_term
+
+    factory = RecordFactory(Widths(), FieldSet(explicit_prefix=True))
+    plist = PrefixList("L", (
+        PrefixListEntry("permit", iplib.parse_ip("192.168.0.0"), 16,
+                        ge=16, le=28),
+    ))
+    network = iplib.network_of(dst, length)
+    record = factory.concrete("r", valid=TRUE, prefix_len=length,
+                              prefix=network)
+    hoisted = prefix_list_term(plist, record, DST, hoisted=True)
+    explicit = prefix_list_term(plist, record, DST, hoisted=False)
+    env = {"ps_dst": dst}
+    assert evaluate(hoisted, env) == evaluate(explicit, env)

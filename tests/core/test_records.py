@@ -1,0 +1,185 @@
+"""Symbolic records: the preference terms must agree with the concrete
+decision process in :mod:`repro.sim.decision` on all inputs."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.records import (
+    FieldSet,
+    RecordFactory,
+    Widths,
+    fold_best,
+    prefer_bgp,
+    prefer_igp,
+    prefer_overall,
+)
+from repro.net.route import Route
+from repro.sim.decision import bgp_prefers, select_best
+from repro.smt import FALSE, TRUE, evaluate
+
+FACTORY = RecordFactory(Widths(), FieldSet(local_pref=True, med=True,
+                                           neighbor_asn=True))
+
+
+def concrete_record(name, **kw):
+    return FACTORY.concrete(name, **kw)
+
+
+def route_of(kw):
+    return Route(network=0, length=kw.get("prefix_len", 0),
+                 protocol="bgp", ad=kw.get("ad", 20),
+                 local_pref=kw.get("local_pref", 100),
+                 metric=kw.get("metric", 0), med=kw.get("med", 0),
+                 router_id=kw.get("router_id", 0),
+                 bgp_internal=kw.get("bgp_internal", False))
+
+
+bgp_fields = st.fixed_dictionaries({
+    "prefix_len": st.integers(0, 32),
+    "local_pref": st.integers(0, 300),
+    "metric": st.integers(0, 10),
+    "med": st.integers(0, 5),
+    "router_id": st.integers(0, 7),
+    "bgp_internal": st.booleans(),
+})
+
+
+@settings(max_examples=150, deadline=None)
+@given(a=bgp_fields, b=bgp_fields)
+def test_prefer_bgp_matches_concrete_decision(a, b):
+    rec_a = concrete_record("a", **a)
+    rec_b = concrete_record("b", **b)
+    term = prefer_bgp(rec_a, rec_b, "always")
+    symbolic = evaluate(term, {})
+    # The concrete comparison ignores prefix length (per-prefix tables);
+    # fold it in the same way the symbolic term does.
+    if a["prefix_len"] != b["prefix_len"]:
+        concrete = a["prefix_len"] > b["prefix_len"]
+    else:
+        concrete = bgp_prefers(route_of(a), route_of(b), "always")
+    assert symbolic == concrete
+
+
+@settings(max_examples=100, deadline=None)
+@given(a=bgp_fields, b=bgp_fields,
+       asn_a=st.integers(0, 2), asn_b=st.integers(0, 2))
+def test_prefer_bgp_same_as_mode(a, b, asn_a, asn_b):
+    rec_a = concrete_record("a", neighbor_asn=asn_a, **a)
+    rec_b = concrete_record("b", neighbor_asn=asn_b, **b)
+    term = prefer_bgp(rec_a, rec_b, "same-as")
+    symbolic = evaluate(term, {})
+    if a["prefix_len"] != b["prefix_len"]:
+        concrete = a["prefix_len"] > b["prefix_len"]
+    else:
+        ra = Route(network=0, length=0, protocol="bgp", ad=20,
+                   local_pref=a["local_pref"], metric=a["metric"],
+                   med=a["med"], router_id=a["router_id"],
+                   bgp_internal=a["bgp_internal"], as_path=(asn_a,))
+        rb = Route(network=0, length=0, protocol="bgp", ad=20,
+                   local_pref=b["local_pref"], metric=b["metric"],
+                   med=b["med"], router_id=b["router_id"],
+                   bgp_internal=b["bgp_internal"], as_path=(asn_b,))
+        concrete = bgp_prefers(ra, rb, "same-as")
+    assert symbolic == concrete
+
+
+igp_fields = st.fixed_dictionaries({
+    "prefix_len": st.integers(0, 32),
+    "metric": st.integers(0, 20),
+    "router_id": st.integers(0, 7),
+})
+
+
+@settings(max_examples=100, deadline=None)
+@given(a=igp_fields, b=igp_fields)
+def test_prefer_igp_is_strict_total_order(a, b):
+    rec_a = concrete_record("a", **a)
+    rec_b = concrete_record("b", **b)
+    forward = evaluate(prefer_igp(rec_a, rec_b), {})
+    backward = evaluate(prefer_igp(rec_b, rec_a), {})
+    assert not (forward and backward)
+    if a != b:
+        assert forward or backward
+    else:
+        assert not forward and not backward
+
+
+@settings(max_examples=80, deadline=None)
+@given(candidates=st.lists(igp_fields, min_size=1, max_size=5),
+       valids=st.lists(st.booleans(), min_size=5, max_size=5))
+def test_fold_best_matches_concrete_selection(candidates, valids):
+    records = []
+    routes = []
+    for i, fields in enumerate(candidates):
+        valid = valids[i]
+        rec = FACTORY.concrete(f"c{i}", valid=TRUE if valid else FALSE,
+                               ad=110, **fields)
+        records.append(rec)
+        if valid:
+            routes.append(Route(network=0, length=fields["prefix_len"],
+                                protocol="ospf", ad=110,
+                                metric=fields["metric"],
+                                router_id=fields["router_id"]))
+    best, chosen = fold_best(FACTORY, records, prefer_igp)
+    flags = [evaluate(c, {}) for c in chosen]
+    if not routes:
+        assert evaluate(best.valid, {}) is False
+        assert not any(flags)
+        return
+    assert evaluate(best.valid, {}) is True
+    assert sum(flags) == 1
+    # The winner must match the concrete selection, which orders by
+    # (longest prefix, metric, rid) among valid candidates.
+    expected = max(
+        (r for r in routes),
+        key=lambda r: (r.length, -r.metric, -r.router_id),
+    )
+    # Resolve ties like the fold: first candidate with the winning key.
+    winner_index = flags.index(True)
+    won = records[winner_index]
+    assert evaluate(won.prefix_len, {}) == expected.length
+    assert evaluate(won.metric, {}) == expected.metric
+    assert evaluate(won.router_id, {}) == expected.router_id
+    assert evaluate(best.metric, {}) == expected.metric
+
+
+def test_fold_best_empty():
+    best, chosen = fold_best(FACTORY, [], prefer_igp)
+    assert evaluate(best.valid, {}) is False
+    assert chosen == []
+
+
+def test_prefer_overall_orders_by_length_then_ad():
+    lo_ad = concrete_record("a", prefix_len=8, ad=1)
+    hi_ad = concrete_record("b", prefix_len=8, ad=110)
+    longer = concrete_record("c", prefix_len=24, ad=200)
+    assert evaluate(prefer_overall(lo_ad, hi_ad), {}) is True
+    assert evaluate(prefer_overall(hi_ad, lo_ad), {}) is False
+    assert evaluate(prefer_overall(longer, lo_ad), {}) is True
+
+
+def test_record_ite_merges_fieldwise():
+    from repro.smt import bool_var
+
+    cond = bool_var("ri_c")
+    a = concrete_record("a", metric=3)
+    b = concrete_record("b", metric=9)
+    merged = FACTORY.record_ite(cond, a, b)
+    assert evaluate(merged.metric, {"ri_c": True}) == 3
+    assert evaluate(merged.metric, {"ri_c": False}) == 9
+
+
+def test_equate_is_guarded_on_validity():
+    from repro.smt import Solver, SAT, and_
+
+    free = FACTORY.fresh("ge_a")
+    # An invalid record whose metric "equals itself plus one" through the
+    # equation ring: must stay satisfiable because fields are guarded.
+    from repro.smt import bv_add, bv_val, eq, not_
+
+    shifted = free.with_(metric=bv_add(free.metric,
+                                       bv_val(1, FACTORY.widths.metric)))
+    solver = Solver()
+    solver.add(*FACTORY.equate(free, shifted))
+    solver.add(not_(free.valid))
+    assert solver.check() is SAT

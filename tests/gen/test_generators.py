@@ -1,0 +1,128 @@
+"""Tests for the synthetic network generators."""
+
+import pytest
+
+from repro.gen import (
+    SUITE_SIZE,
+    build_cloud_network,
+    build_fattree,
+    fattree_router_count,
+    random_scenario,
+)
+from repro.gen.cloud import _bug_flags
+from repro.net import ip as iplib
+from repro.sim import DataPlane, Packet, simulate
+
+
+class TestFatTree:
+    @pytest.mark.parametrize("pods,expected", [(2, 5), (4, 20), (6, 45),
+                                               (10, 125), (14, 245),
+                                               (18, 405)])
+    def test_router_counts_match_paper(self, pods, expected):
+        assert fattree_router_count(pods) == expected
+
+    def test_structure(self):
+        tree = build_fattree(4)
+        assert len(tree.tors) == 8
+        assert len(tree.aggs) == 8
+        assert len(tree.cores) == 4
+        assert len(tree.backbone_peers) == 4
+        net = tree.network
+        # Each ToR connects to every agg in its pod.
+        tor_edges = {e.target for e in net.edges_from("tor_0_0")}
+        assert tor_edges == {"agg_0_0", "agg_0_1"}
+
+    def test_odd_pods_rejected(self):
+        with pytest.raises(ValueError):
+            build_fattree(3)
+        with pytest.raises(ValueError):
+            build_fattree(0)
+
+    def test_all_tors_reach_each_other_in_simulation(self):
+        tree = build_fattree(4)
+        result = simulate(tree.network)
+        assert result.converged
+        dataplane = DataPlane(result)
+        dst = Packet.to("10.2.1.9")  # tor_2_1's rack
+        for tor in tree.tors:
+            assert dataplane.reachable(tor, dst), tor
+
+    def test_paths_are_at_most_four_hops(self):
+        tree = build_fattree(4)
+        dataplane = DataPlane(simulate(tree.network))
+        dst = Packet.to("10.3.0.9")
+        for tor in tree.tors:
+            for trace in dataplane.traces(tor, dst):
+                assert trace.delivered
+                assert trace.hops <= 4
+
+    def test_tor_subnet_lookup(self):
+        tree = build_fattree(2)
+        assert tree.tor_subnet("tor_1_0") == "10.1.0.0/24"
+        assert tree.pod_of("agg_1_0") == 1
+
+
+class TestCloudSuite:
+    def test_bug_budget_matches_paper(self):
+        hijacks = sum(1 for i in range(SUITE_SIZE) if _bug_flags(i)[0])
+        drifts = sum(1 for i in range(SUITE_SIZE) if _bug_flags(i)[1])
+        holes = sum(1 for i in range(SUITE_SIZE) if _bug_flags(i)[2])
+        assert (hijacks, drifts, holes) == (67, 29, 24)
+        assert hijacks + drifts + holes == 120
+
+    def test_deterministic(self):
+        a = build_cloud_network(17)
+        b = build_cloud_network(17)
+        assert a.network.router_names() == b.network.router_names()
+        assert a.seeded_hijack == b.seeded_hijack
+        assert a.network.total_config_lines() == \
+            b.network.total_config_lines()
+
+    def test_size_range(self):
+        for index in (0, 40, 90, 140):
+            net = build_cloud_network(index).network
+            assert 2 <= len(net.devices) <= 25
+
+    def test_bug_classes_have_required_structure(self):
+        drift_net = build_cloud_network(70)
+        assert drift_net.drift_pair is not None
+        hole_net = build_cloud_network(100)
+        assert hole_net.blackhole_router is not None
+        clean = build_cloud_network(140)
+        assert not (clean.seeded_hijack or clean.seeded_equiv_drift
+                    or clean.seeded_blackhole)
+
+    def test_networks_simulate_and_converge(self):
+        for index in (0, 70, 100, 140):
+            cloud = build_cloud_network(index)
+            result = simulate(cloud.network)
+            assert result.converged, cloud.name
+
+    def test_configs_serialize_and_reparse(self):
+        from repro.lang import parse_config, write_config
+
+        cloud = build_cloud_network(3)
+        for name in cloud.network.router_names():
+            text = write_config(cloud.network.device(name))
+            reparsed = parse_config(text)
+            assert reparsed.hostname == name
+
+
+class TestRandomScenarios:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_scenarios_converge(self, seed):
+        scenario = random_scenario(seed)
+        result = simulate(scenario.network, scenario.environment)
+        assert result.converged
+
+    def test_probe_destinations_nonempty(self):
+        scenario = random_scenario(3)
+        assert scenario.probe_destinations
+        for dst in scenario.probe_destinations:
+            assert 0 <= dst <= iplib.MAX_IP
+
+    def test_deterministic_by_seed(self):
+        a = random_scenario(5)
+        b = random_scenario(5)
+        assert a.network.router_names() == b.network.router_names()
+        assert a.environment == b.environment

@@ -1,0 +1,122 @@
+"""Round-trip property: parse(write(config)) reproduces the model."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.lang import parse_config, write_config
+from repro.net import (
+    AclRule,
+    DeviceConfig,
+    NetworkBuilder,
+    PrefixListEntry,
+    RouteMapClause,
+)
+from repro.net import ip as iplib
+
+
+def assert_configs_equivalent(a: DeviceConfig, b: DeviceConfig) -> None:
+    assert a.hostname == b.hostname
+    assert set(a.interfaces) == set(b.interfaces)
+    for name, ia in a.interfaces.items():
+        ib = b.interfaces[name]
+        assert (ia.address, ia.prefix_length, ia.ospf_cost, ia.acl_in,
+                ia.acl_out, ia.is_management, ia.shutdown) == \
+               (ib.address, ib.prefix_length, ib.ospf_cost, ib.acl_in,
+                ib.acl_out, ib.is_management, ib.shutdown)
+    assert a.acls == b.acls
+    assert a.prefix_lists == b.prefix_lists
+    assert a.community_lists == b.community_lists
+    assert a.route_maps == b.route_maps
+    assert (a.bgp is None) == (b.bgp is None)
+    if a.bgp:
+        assert a.bgp.asn == b.bgp.asn
+        assert a.bgp.networks == b.bgp.networks
+        assert a.bgp.aggregates == b.bgp.aggregates
+        assert a.bgp.redistribute == b.bgp.redistribute
+        assert a.bgp.multipath == b.bgp.multipath
+        assert a.bgp.med_mode == b.bgp.med_mode
+        assert [vars(n) for n in a.bgp.neighbors] == \
+               [vars(n) for n in b.bgp.neighbors]
+    assert (a.ospf is None) == (b.ospf is None)
+    if a.ospf:
+        assert a.ospf.networks == b.ospf.networks
+        assert a.ospf.redistribute == b.ospf.redistribute
+        assert a.ospf.multipath == b.ospf.multipath
+    assert [vars(s) for s in a.static_routes] == \
+           [vars(s) for s in b.static_routes]
+
+
+def test_roundtrip_handbuilt_network():
+    builder = NetworkBuilder()
+    r1 = builder.device("R1")
+    r1.enable_bgp(65001, multipath=True)
+    r1.enable_ospf(multipath=True)
+    builder.link("R1", "R2")
+    builder.device("R2").enable_bgp(65001)
+    builder.ibgp_session("R1", "R2")
+    builder.external_peer("R1", asn=65002, name="N1")
+    r1.bgp_network("192.168.1.0/24")
+    r1.ospf_network("10.128.0.0/16")
+    r1.redistribute("bgp", "ospf", metric=5)
+    r1.redistribute("ospf", "bgp", metric=20)
+    r1.static_route("172.16.0.0/16", drop=True)
+    r1.prefix_list("PL", [
+        PrefixListEntry("deny", iplib.parse_ip("192.168.0.0"), 16, le=32),
+        PrefixListEntry("permit", 0, 0, le=32),
+    ])
+    r1.route_map("IMP", [
+        RouteMapClause(seq=10, action="permit", match_prefix_list="PL",
+                       set_local_pref=120,
+                       add_communities=("65001:1",)),
+        RouteMapClause(seq=20, action="deny"),
+    ])
+    r1.acl("BLK", [
+        AclRule("deny", dst_network=iplib.parse_ip("172.10.1.0"),
+                dst_length=24),
+        AclRule("permit"),
+    ])
+    r1.community_list("CL", ["65001:1"])
+    net = builder.build()
+    for name in net.router_names():
+        original = net.device(name)
+        reparsed = parse_config(write_config(original))
+        assert_configs_equivalent(original, reparsed)
+
+
+interface_strategy = st.builds(
+    dict,
+    address=st.integers(1, iplib.MAX_IP - 1),
+    prefix_length=st.integers(8, 32),
+    ospf_cost=st.integers(1, 100),
+    management=st.booleans(),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ifaces=st.lists(interface_strategy, min_size=1, max_size=4),
+    asn=st.integers(1, 65535),
+    statics=st.lists(
+        st.tuples(st.integers(0, iplib.MAX_IP), st.integers(8, 30),
+                  st.booleans()),
+        max_size=3),
+)
+def test_roundtrip_random_devices(ifaces, asn, statics):
+    builder = NetworkBuilder()
+    dev = builder.device("RT")
+    for i, spec in enumerate(ifaces):
+        dev.interface(
+            f"eth{i}",
+            f"{iplib.format_ip(spec['address'])}/{spec['prefix_length']}",
+            ospf_cost=spec["ospf_cost"],
+            management=spec["management"],
+        )
+    dev.enable_bgp(asn)
+    for net_addr, length, drop in statics:
+        prefix = iplib.format_prefix(iplib.network_of(net_addr, length),
+                                     length)
+        dev.static_route(prefix, drop=True) if drop else dev.static_route(
+            prefix, interface="eth0")
+    original = builder.build().device("RT")
+    reparsed = parse_config(write_config(original))
+    assert_configs_equivalent(original, reparsed)

@@ -1,0 +1,101 @@
+"""Unit and property tests for IPv4 arithmetic."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given
+
+from repro.net import ip as iplib
+
+
+class TestParseFormat:
+    def test_parse_ip(self):
+        assert iplib.parse_ip("0.0.0.0") == 0
+        assert iplib.parse_ip("255.255.255.255") == iplib.MAX_IP
+        assert iplib.parse_ip("10.0.0.1") == (10 << 24) + 1
+        assert iplib.parse_ip(" 192.168.1.1 ") == 0xC0A80101
+
+    @pytest.mark.parametrize("bad", ["1.2.3", "1.2.3.4.5", "256.0.0.0",
+                                     "-1.0.0.0", "a.b.c.d", ""])
+    def test_parse_ip_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            iplib.parse_ip(bad)
+
+    def test_format_ip(self):
+        assert iplib.format_ip(0xC0A80101) == "192.168.1.1"
+        with pytest.raises(ValueError):
+            iplib.format_ip(-1)
+        with pytest.raises(ValueError):
+            iplib.format_ip(1 << 32)
+
+    def test_parse_prefix_normalizes_host_bits(self):
+        net, length = iplib.parse_prefix("10.1.2.3/24")
+        assert net == iplib.parse_ip("10.1.2.0")
+        assert length == 24
+
+    def test_parse_prefix_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            iplib.parse_prefix("10.0.0.0/33")
+        with pytest.raises(ValueError):
+            iplib.parse_prefix("10.0.0.0")
+
+    def test_format_prefix(self):
+        assert iplib.format_prefix(0x0A000000, 8) == "10.0.0.0/8"
+
+
+class TestMasks:
+    def test_mask_roundtrip(self):
+        for length in range(33):
+            assert iplib.mask_to_length(iplib.length_to_mask(length)) == length
+
+    def test_noncontiguous_mask_rejected(self):
+        with pytest.raises(ValueError):
+            iplib.mask_to_length(iplib.parse_ip("255.0.255.0"))
+
+    def test_wildcard(self):
+        assert iplib.wildcard_to_length(iplib.parse_ip("0.0.0.255")) == 24
+        assert iplib.wildcard_to_length(0) == 32
+
+
+class TestContainment:
+    def test_prefix_contains(self):
+        net = iplib.parse_ip("10.1.0.0")
+        assert iplib.prefix_contains(net, 16, iplib.parse_ip("10.1.255.1"))
+        assert not iplib.prefix_contains(net, 16, iplib.parse_ip("10.2.0.1"))
+        assert iplib.prefix_contains(0, 0, iplib.parse_ip("1.2.3.4"))
+
+    def test_prefix_overlaps(self):
+        a = iplib.parse_prefix("10.0.0.0/8")
+        b = iplib.parse_prefix("10.1.0.0/16")
+        c = iplib.parse_prefix("11.0.0.0/8")
+        assert iplib.prefix_overlaps(*a, *b)
+        assert iplib.prefix_overlaps(*b, *a)
+        assert not iplib.prefix_overlaps(*a, *c)
+
+    def test_broadcast(self):
+        net, length = iplib.parse_prefix("10.0.0.0/30")
+        assert iplib.broadcast_of(net, length) == net + 3
+
+    def test_host_in_subnet(self):
+        net, length = iplib.parse_prefix("10.0.0.0/24")
+        assert iplib.host_in_subnet(net, length) == net + 1
+        assert iplib.host_in_subnet(net, length, 7) == net + 7
+
+
+@given(st.integers(0, iplib.MAX_IP))
+def test_ip_text_roundtrip(value):
+    assert iplib.parse_ip(iplib.format_ip(value)) == value
+
+
+@given(st.integers(0, iplib.MAX_IP), st.integers(0, 32))
+def test_network_of_is_idempotent_and_contained(addr, length):
+    net = iplib.network_of(addr, length)
+    assert iplib.network_of(net, length) == net
+    assert iplib.prefix_contains(net, length, addr)
+
+
+@given(st.integers(0, iplib.MAX_IP), st.integers(0, 32),
+       st.integers(0, iplib.MAX_IP))
+def test_containment_matches_shift_semantics(net, length, addr):
+    expected = (net >> (32 - length)) == (addr >> (32 - length)) \
+        if length else True
+    assert iplib.prefix_contains(net, length, addr) == expected

@@ -1,0 +1,116 @@
+"""Tests for topology derivation and the network builder."""
+
+import pytest
+
+from repro.net import Network, NetworkBuilder, DeviceConfig
+from repro.net import ip as iplib
+
+
+def two_router_net():
+    b = NetworkBuilder()
+    b.device("R1").enable_bgp(65001)
+    b.device("R2").enable_bgp(65001)
+    b.link("R1", "R2", subnet="10.0.12.0/30")
+    return b
+
+
+class TestBuilder:
+    def test_link_creates_matching_interfaces(self):
+        net = two_router_net().build()
+        r1 = net.device("R1")
+        r2 = net.device("R2")
+        if1 = r1.interfaces["eth0"]
+        if2 = r2.interfaces["eth0"]
+        assert if1.address == iplib.parse_ip("10.0.12.1")
+        assert if2.address == iplib.parse_ip("10.0.12.2")
+        assert if1.subnet == if2.subnet
+
+    def test_edges_are_bidirectional(self):
+        net = two_router_net().build()
+        assert net.edge_between("R1", "R2") is not None
+        assert net.edge_between("R2", "R1") is not None
+        assert len(net.internal_links()) == 1
+        assert len(net.edges) == 2
+
+    def test_auto_subnets_are_distinct(self):
+        b = NetworkBuilder()
+        for name in ("A", "B", "C"):
+            b.device(name)
+        b.link("A", "B")
+        b.link("B", "C")
+        b.link("A", "C")
+        net = b.build()
+        assert len(net.internal_links()) == 3
+
+    def test_external_peer_becomes_symbolic_neighbor(self):
+        b = two_router_net()
+        peer = b.external_peer("R1", asn=65099, name="N1")
+        net = b.build()
+        assert peer == "N1"
+        exts = net.externals_at("R1")
+        assert len(exts) == 1
+        assert exts[0].asn == 65099
+        assert net.externals_at("R2") == []
+
+    def test_ibgp_session_pairs_addresses(self):
+        b = two_router_net()
+        b.ibgp_session("R1", "R2")
+        net = b.build()
+        r1 = net.device("R1")
+        r2 = net.device("R2")
+        assert r1.bgp.neighbors[0].peer_ip == iplib.parse_ip("10.0.12.2")
+        assert r2.bgp.neighbors[0].peer_ip == iplib.parse_ip("10.0.12.1")
+        assert r1.bgp.is_internal(r1.bgp.neighbors[0])
+
+    def test_config_lines_estimated(self):
+        net = two_router_net().build()
+        assert net.device("R1").config_lines > 0
+        assert net.total_config_lines() > 0
+
+    def test_duplicate_hostname_rejected(self):
+        with pytest.raises(ValueError):
+            Network([DeviceConfig(hostname="X"),
+                     DeviceConfig(hostname="X")])
+
+
+class TestTopologyQueries:
+    def test_edges_from(self):
+        b = NetworkBuilder()
+        for name in ("A", "B", "C"):
+            b.device(name)
+        b.link("A", "B")
+        b.link("A", "C")
+        net = b.build()
+        targets = {e.target for e in net.edges_from("A")}
+        assert targets == {"B", "C"}
+        assert net.edges_from("missing") == []
+
+    def test_peer_address_on_edge(self):
+        net = two_router_net().build()
+        edge = net.edge_between("R1", "R2")
+        assert net.peer_address_on(edge) == iplib.parse_ip("10.0.12.2")
+
+    def test_device_owning(self):
+        net = two_router_net().build()
+        assert net.device_owning(iplib.parse_ip("10.0.12.1")) == "R1"
+        assert net.device_owning(iplib.parse_ip("10.0.12.2")) == "R2"
+        assert net.device_owning(iplib.parse_ip("1.1.1.1")) is None
+
+    def test_shutdown_interface_breaks_adjacency(self):
+        b = two_router_net()
+        b.device("R1").config.interfaces["eth0"].shutdown = True
+        net = b.build()
+        assert net.edge_between("R1", "R2") is None
+
+    def test_unresolvable_bgp_peer_is_ignored(self):
+        b = two_router_net()
+        # Peer address on no local subnet: the session can never establish.
+        b.device("R1").bgp_neighbor("203.0.113.9", remote_as=65000)
+        net = b.build()
+        assert net.externals == []
+
+    def test_external_peer_name_defaults(self):
+        b = two_router_net()
+        b.external_peer("R1", asn=65099)
+        net = b.build()
+        assert net.externals[0].name.startswith("ext-R1-")

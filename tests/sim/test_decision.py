@@ -1,0 +1,108 @@
+"""Tests for the route-selection decision process."""
+
+from repro.net.route import Route
+from repro.sim import bgp_prefers, overall_best, select_best
+
+
+def bgp_route(**kwargs):
+    base = dict(network=0x0A000000, length=8, protocol="bgp", ad=20,
+                local_pref=100, metric=2, med=0, router_id=1,
+                bgp_internal=False)
+    base.update(kwargs)
+    return Route(**base)
+
+
+class TestBgpPrefers:
+    def test_local_pref_dominates(self):
+        hi = bgp_route(local_pref=200, metric=9)
+        lo = bgp_route(local_pref=100, metric=1)
+        assert bgp_prefers(hi, lo)
+        assert not bgp_prefers(lo, hi)
+
+    def test_as_path_length_second(self):
+        short = bgp_route(metric=1, med=9)
+        long_ = bgp_route(metric=3, med=0)
+        assert bgp_prefers(short, long_)
+
+    def test_med_always_mode(self):
+        low = bgp_route(med=1)
+        high = bgp_route(med=7)
+        assert bgp_prefers(low, high, "always")
+
+    def test_med_same_as_mode_only_compares_same_neighbor(self):
+        a = bgp_route(med=9, as_path=(65001, 65002))
+        b = bgp_route(med=1, as_path=(65003, 65002), router_id=9)
+        # Different next-hop AS: MED ignored, falls to router id (1 < 9).
+        assert bgp_prefers(a, b, "same-as")
+        c = bgp_route(med=9, as_path=(65001, 65002))
+        d = bgp_route(med=1, as_path=(65001, 65004), router_id=9)
+        # Same next-hop AS: MED compared.
+        assert bgp_prefers(d, c, "same-as")
+
+    def test_med_ignore_mode(self):
+        a = bgp_route(med=9)
+        b = bgp_route(med=1, router_id=9)
+        assert bgp_prefers(a, b, "ignore")
+
+    def test_ebgp_over_ibgp(self):
+        ext = bgp_route(bgp_internal=False, router_id=9)
+        internal = bgp_route(bgp_internal=True, router_id=1)
+        assert bgp_prefers(ext, internal)
+
+    def test_router_id_final_tiebreak(self):
+        a = bgp_route(router_id=1)
+        b = bgp_route(router_id=2)
+        assert bgp_prefers(a, b)
+        assert not bgp_prefers(b, a)
+
+
+class TestSelectBest:
+    def test_single_best(self):
+        routes = [bgp_route(local_pref=100, router_id=2),
+                  bgp_route(local_pref=300, router_id=3),
+                  bgp_route(local_pref=200, router_id=4)]
+        best = select_best(routes)
+        assert len(best) == 1
+        assert best[0].local_pref == 300
+
+    def test_empty(self):
+        assert select_best([]) == []
+
+    def test_multipath_keeps_rid_ties(self):
+        routes = [bgp_route(router_id=1), bgp_route(router_id=2),
+                  bgp_route(router_id=3, metric=9)]
+        best = select_best(routes, multipath=True)
+        assert [r.router_id for r in best] == [1, 2]
+
+    def test_multipath_excludes_worse_local_pref(self):
+        routes = [bgp_route(router_id=1, local_pref=200),
+                  bgp_route(router_id=2, local_pref=100)]
+        best = select_best(routes, multipath=True)
+        assert len(best) == 1
+
+    def test_ospf_lowest_cost(self):
+        routes = [Route(network=0, length=0, protocol="ospf", ad=110,
+                        metric=m, router_id=m) for m in (4, 2, 7)]
+        best = select_best(routes)
+        assert best[0].metric == 2
+
+    def test_same_as_med_selection(self):
+        routes = [bgp_route(med=5, as_path=(1, 9), router_id=1),
+                  bgp_route(med=2, as_path=(1, 8), router_id=2)]
+        best = select_best(routes, med_mode="same-as")
+        assert best[0].med == 2
+
+
+class TestOverallBest:
+    def test_lowest_ad_wins(self):
+        static = [Route(network=0, length=0, protocol="static", ad=1)]
+        ospf = [Route(network=0, length=0, protocol="ospf", ad=110)]
+        bgp = [bgp_route()]
+        assert overall_best([ospf, static, bgp]) is static
+
+    def test_skips_empty_groups(self):
+        bgp = [bgp_route()]
+        assert overall_best([[], bgp, []]) is bgp
+
+    def test_all_empty(self):
+        assert overall_best([[], []]) == []

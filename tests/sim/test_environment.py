@@ -1,0 +1,51 @@
+"""Tests for concrete environment objects."""
+
+from repro.net import ip as iplib
+from repro.sim import Environment, ExternalAnnouncement
+
+
+class TestExternalAnnouncement:
+    def test_make_normalizes_prefix(self):
+        ann = ExternalAnnouncement.make("P", "10.1.2.3/16")
+        assert ann.network == iplib.parse_ip("10.1.0.0")
+        assert ann.length == 16
+
+    def test_make_builds_as_path_of_requested_length(self):
+        ann = ExternalAnnouncement.make("P", "8.0.0.0/8", path_length=4)
+        assert len(ann.as_path) == 4
+        assert len(set(ann.as_path)) == 4
+
+    def test_make_minimum_path_length_is_one(self):
+        ann = ExternalAnnouncement.make("P", "8.0.0.0/8", path_length=0)
+        assert len(ann.as_path) == 1
+
+    def test_communities_frozen(self):
+        ann = ExternalAnnouncement.make("P", "8.0.0.0/8",
+                                        communities=("65001:1",))
+        assert ann.communities == frozenset({"65001:1"})
+
+
+class TestEnvironment:
+    def test_empty(self):
+        env = Environment.empty()
+        assert env.announcements == ()
+        assert not env.link_failed("A", "B")
+
+    def test_failed_links_are_order_insensitive(self):
+        env = Environment.of(failed_links=[("B", "A")])
+        assert env.link_failed("A", "B")
+        assert env.link_failed("B", "A")
+        assert not env.link_failed("A", "C")
+
+    def test_announcements_from_filters_by_peer(self):
+        a1 = ExternalAnnouncement.make("P1", "8.0.0.0/8")
+        a2 = ExternalAnnouncement.make("P2", "9.0.0.0/8")
+        env = Environment.of([a1, a2])
+        assert env.announcements_from("P1") == [a1]
+        assert env.announcements_from("P3") == []
+
+    def test_hashable_and_comparable(self):
+        e1 = Environment.of([ExternalAnnouncement.make("P", "8.0.0.0/8")])
+        e2 = Environment.of([ExternalAnnouncement.make("P", "8.0.0.0/8")])
+        assert e1 == e2
+        assert hash(e1) == hash(e2)

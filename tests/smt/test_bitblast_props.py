@@ -1,0 +1,150 @@
+"""Property-based tests: the CNF pipeline agrees with direct evaluation.
+
+Strategy: generate random terms over a small pool of variables, pick a random
+concrete assignment, assert that the term's evaluator value can be realized
+by the solver (force each variable to its concrete value, then check the term
+evaluates consistently through SAT), and dually that asserting the term
+produces models under which the evaluator says True.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.smt import (
+    SAT,
+    Solver,
+    UNSAT,
+    and_,
+    bit,
+    bool_var,
+    bv_add,
+    bv_ite,
+    bv_val,
+    bv_var,
+    eq,
+    evaluate,
+    iff,
+    ite,
+    not_,
+    or_,
+    ule,
+    ult,
+)
+
+WIDTH = 6
+BOOL_NAMES = ["pb_a", "pb_b", "pb_c"]
+BV_NAMES = ["pb_x", "pb_y", "pb_z"]
+
+
+def bool_leaves():
+    return st.sampled_from(
+        [bool_var(n) for n in BOOL_NAMES]
+    )
+
+
+def bv_terms(depth):
+    if depth == 0:
+        return st.one_of(
+            st.sampled_from([bv_var(n, WIDTH) for n in BV_NAMES]),
+            st.integers(0, (1 << WIDTH) - 1).map(
+                lambda v: bv_val(v, WIDTH)),
+        )
+    sub = bv_terms(depth - 1)
+    return st.one_of(
+        sub,
+        st.tuples(sub, sub).map(lambda t: bv_add(*t)),
+        st.tuples(bool_terms(depth - 1), sub, sub).map(
+            lambda t: bv_ite(*t)),
+    )
+
+
+def bool_terms(depth):
+    if depth == 0:
+        return st.one_of(bool_leaves(),
+                         st.just(bool_var("pb_a")))
+    sub = bool_terms(depth - 1)
+    bvsub = bv_terms(depth - 1)
+    return st.one_of(
+        sub,
+        sub.map(not_),
+        st.tuples(sub, sub).map(lambda t: and_(*t)),
+        st.tuples(sub, sub).map(lambda t: or_(*t)),
+        st.tuples(sub, sub).map(lambda t: iff(*t)),
+        st.tuples(sub, sub, sub).map(lambda t: ite(*t)),
+        st.tuples(bvsub, bvsub).map(lambda t: eq(*t)),
+        st.tuples(bvsub, bvsub).map(lambda t: ule(*t)),
+        st.tuples(bvsub, bvsub).map(lambda t: ult(*t)),
+        st.tuples(bvsub, st.integers(0, WIDTH - 1)).map(
+            lambda t: bit(*t)),
+    )
+
+
+def env_strategy():
+    return st.fixed_dictionaries({
+        **{n: st.booleans() for n in BOOL_NAMES},
+        **{n: st.integers(0, (1 << WIDTH) - 1) for n in BV_NAMES},
+    })
+
+
+def pin_env(solver, env):
+    for name in BOOL_NAMES:
+        v = bool_var(name)
+        solver.add(v if env[name] else not_(v))
+    for name in BV_NAMES:
+        solver.add(eq(bv_var(name, WIDTH), bv_val(env[name], WIDTH)))
+
+
+@settings(max_examples=120, deadline=None)
+@given(term=bool_terms(3), env=env_strategy())
+def test_pinned_solver_agrees_with_evaluator(term, env):
+    expected = evaluate(term, env)
+    s = Solver()
+    pin_env(s, env)
+    s.add(term if expected else not_(term))
+    assert s.check() is SAT
+    # And the opposite polarity must be impossible under the same pins.
+    s2 = Solver()
+    pin_env(s2, env)
+    s2.add(not_(term) if expected else term)
+    assert s2.check() is UNSAT
+
+
+@settings(max_examples=80, deadline=None)
+@given(term=bool_terms(3))
+def test_models_satisfy_asserted_terms(term):
+    s = Solver()
+    s.add(term)
+    result = s.check()
+    if result is SAT:
+        env = s.model().env()
+        assert evaluate(term, env) is True
+    else:
+        # UNSAT claims no assignment works; spot-check the all-zero env.
+        assert evaluate(term, {}) is False
+
+
+@settings(max_examples=80, deadline=None)
+@given(a=st.integers(0, (1 << WIDTH) - 1),
+       b=st.integers(0, (1 << WIDTH) - 1))
+def test_addition_semantics_exact(a, b):
+    x, y = bv_var("pb_x", WIDTH), bv_var("pb_y", WIDTH)
+    total = (a + b) % (1 << WIDTH)
+    s = Solver()
+    s.add(eq(x, bv_val(a, WIDTH)), eq(y, bv_val(b, WIDTH)),
+          eq(bv_add(x, y), bv_val(total, WIDTH)))
+    assert s.check() is SAT
+    s2 = Solver()
+    s2.add(eq(x, bv_val(a, WIDTH)), eq(y, bv_val(b, WIDTH)),
+           not_(eq(bv_add(x, y), bv_val(total, WIDTH))))
+    assert s2.check() is UNSAT
+
+
+@settings(max_examples=80, deadline=None)
+@given(a=st.integers(0, (1 << WIDTH) - 1),
+       b=st.integers(0, (1 << WIDTH) - 1))
+def test_comparison_semantics_exact(a, b):
+    x, y = bv_var("pb_x", WIDTH), bv_var("pb_y", WIDTH)
+    s = Solver()
+    s.add(eq(x, bv_val(a, WIDTH)), eq(y, bv_val(b, WIDTH)))
+    assert s.check([ule(x, y)]) is (SAT if a <= b else UNSAT)
+    assert s.check([ult(x, y)]) is (SAT if a < b else UNSAT)

@@ -1,0 +1,41 @@
+"""Property-based tests for the sequential-counter cardinality encodings."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.smt import (
+    at_least_k,
+    at_most_k,
+    bool_var,
+    evaluate,
+    exactly_k,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(values=st.lists(st.booleans(), min_size=0, max_size=9),
+       k=st.integers(-1, 10))
+def test_cardinality_matches_popcount(values, k):
+    names = [f"cp_{i}" for i in range(len(values))]
+    bits = [bool_var(n) for n in names]
+    env = dict(zip(names, values))
+    count = sum(values)
+    assert evaluate(at_most_k(bits, k), env) is (count <= k)
+    assert evaluate(at_least_k(bits, k), env) is (count >= k)
+    assert evaluate(exactly_k(bits, k), env) is (count == k)
+
+
+def test_duplicate_bits_count_twice():
+    """Cardinality counts term occurrences, not distinct variables — the
+    caller must deduplicate (regression for the parallel-link failure-bit
+    bug, where one shared bit listed twice could never be set under
+    at-most-1)."""
+    from repro.smt import FALSE, Solver, SAT, UNSAT, at_most_k, bool_var
+
+    bit = bool_var("dup_bit")
+    solver = Solver()
+    solver.add(at_most_k([bit, bit], 1), bit)
+    assert solver.check() is UNSAT
+    solver2 = Solver()
+    solver2.add(at_most_k([bit, bit], 2), bit)
+    assert solver2.check() is SAT

@@ -1,0 +1,99 @@
+"""Tests for the exact linear-arithmetic helper used by load balancing."""
+
+from fractions import Fraction
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.smt import LinExpr, solve_linear_system
+
+
+def var(name):
+    return LinExpr.var(name)
+
+
+def const(v):
+    return LinExpr.constant(v)
+
+
+class TestLinExpr:
+    def test_arithmetic(self):
+        e = var("a") + var("b") * 2 - const(3)
+        assert e.coeffs == {"a": Fraction(1), "b": Fraction(2)}
+        assert e.const == Fraction(-3)
+
+    def test_evaluate(self):
+        e = var("a") * Fraction(1, 2) + const(1)
+        assert e.evaluate({"a": Fraction(4)}) == Fraction(3)
+
+    def test_variables_skips_cancelled(self):
+        e = var("a") - var("a") + var("b")
+        assert e.variables() == ["b"]
+
+
+class TestSolveLinearSystem:
+    def test_unique_solution(self):
+        # a + b = 3, a - b = 1  =>  a = 2, b = 1
+        env = solve_linear_system([
+            (var("a") + var("b"), const(3)),
+            (var("a") - var("b"), const(1)),
+        ])
+        assert env == {"a": Fraction(2), "b": Fraction(1)}
+
+    def test_inconsistent_system(self):
+        env = solve_linear_system([
+            (var("a"), const(1)),
+            (var("a"), const(2)),
+        ])
+        assert env is None
+
+    def test_underdetermined_fixes_free_vars_to_zero(self):
+        env = solve_linear_system([
+            (var("a") + var("b"), const(5)),
+        ])
+        assert env["a"] + env["b"] == 5
+
+    def test_flow_conservation_shape(self):
+        # A tiny ECMP split: total = out1 + out2, out1 = out2 = x.
+        env = solve_linear_system([
+            (var("total"), const(1)),
+            (var("out1"), var("x")),
+            (var("out2"), var("x")),
+            (var("out1") + var("out2"), var("total")),
+        ])
+        assert env["out1"] == Fraction(1, 2)
+        assert env["out2"] == Fraction(1, 2)
+
+    def test_empty_system(self):
+        assert solve_linear_system([]) == {}
+
+    def test_redundant_equations_ok(self):
+        env = solve_linear_system([
+            (var("a"), const(4)),
+            (var("a") * 2, const(8)),
+        ])
+        assert env == {"a": Fraction(4)}
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    solution=st.dictionaries(
+        st.sampled_from(["p", "q", "r"]),
+        st.fractions(min_value=-10, max_value=10),
+        min_size=1, max_size=3,
+    ),
+)
+def test_roundtrip_solvable_systems(solution):
+    """Systems constructed from a known solution are solved exactly."""
+    names = sorted(solution)
+    equations = []
+    # One pinning equation per variable plus one redundant sum.
+    for name in names:
+        equations.append((var(name), const(solution[name])))
+    total = sum((var(n) for n in names), const(0))
+    expected = sum(solution.values())
+    equations.append((total, const(expected)))
+    env = solve_linear_system(equations)
+    assert env is not None
+    for name in names:
+        assert env[name] == solution[name]

@@ -1,0 +1,292 @@
+"""End-to-end solver tests: SAT/UNSAT answers, models, assumptions."""
+
+import itertools
+
+import pytest
+
+from repro.smt import (
+    SAT,
+    UNKNOWN,
+    UNSAT,
+    Solver,
+    and_,
+    at_most_k,
+    bool_var,
+    bv_add,
+    bv_ite,
+    bv_val,
+    bv_var,
+    eq,
+    exactly_k,
+    iff,
+    implies,
+    ite,
+    ne,
+    not_,
+    or_,
+    ugt,
+    ule,
+    ult,
+)
+
+
+def fresh_vars(prefix, n):
+    return [bool_var(f"{prefix}{i}") for i in range(n)]
+
+
+class TestBooleanSolving:
+    def test_simple_sat_with_model(self):
+        a, b = bool_var("sv_a"), bool_var("sv_b")
+        s = Solver()
+        s.add(or_(a, b), not_(a))
+        assert s.check() is SAT
+        m = s.model()
+        assert m.value("sv_a") is False
+        assert m.value("sv_b") is True
+
+    def test_simple_unsat(self):
+        a = bool_var("sv_a")
+        s = Solver()
+        s.add(a, not_(a))
+        assert s.check() is UNSAT
+
+    def test_empty_solver_is_sat(self):
+        assert Solver().check() is SAT
+
+    def test_asserting_true_is_noop(self):
+        s = Solver()
+        s.add(iff(bool_var("sv_a"), bool_var("sv_a")))
+        assert s.check() is SAT
+
+    def test_asserting_false_is_unsat(self):
+        a = bool_var("sv_a")
+        s = Solver()
+        s.add(and_(a, not_(a)))
+        assert s.check() is UNSAT
+
+    def test_chained_implications_propagate(self):
+        xs = fresh_vars("chain", 30)
+        s = Solver()
+        s.add(xs[0])
+        for left, right in zip(xs, xs[1:]):
+            s.add(implies(left, right))
+        assert s.check() is SAT
+        m = s.model()
+        assert all(m.value(f"chain{i}") for i in range(30))
+
+    def test_model_eval_on_compound_terms(self):
+        a, b = bool_var("sv_a"), bool_var("sv_b")
+        s = Solver()
+        s.add(a, not_(b))
+        assert s.check() is SAT
+        m = s.model()
+        assert m.eval(and_(a, not_(b))) is True
+        assert m.eval(or_(b, not_(a))) is False
+        assert m.eval(ite(a, bv_val(7, 4), bv_val(3, 4))) == 7
+
+    def test_pigeonhole_unsat(self):
+        # 6 pigeons, 5 holes: classic resolution-hard UNSAT instance.
+        s = Solver()
+        holes = 5
+        p = [[bool_var(f"ph_{i}_{j}") for j in range(holes)]
+             for i in range(holes + 1)]
+        for row in p:
+            s.add(or_(*row))
+        for j in range(holes):
+            for r1, r2 in itertools.combinations(range(holes + 1), 2):
+                s.add(or_(not_(p[r1][j]), not_(p[r2][j])))
+        assert s.check() is UNSAT
+        assert s.stats["conflicts"] > 0
+
+    def test_conflict_budget_yields_unknown(self):
+        s = Solver(conflict_budget=1)
+        holes = 6
+        p = [[bool_var(f"phb_{i}_{j}") for j in range(holes)]
+             for i in range(holes + 1)]
+        for row in p:
+            s.add(or_(*row))
+        for j in range(holes):
+            for r1, r2 in itertools.combinations(range(holes + 1), 2):
+                s.add(or_(not_(p[r1][j]), not_(p[r2][j])))
+        assert s.check() is UNKNOWN
+
+    def test_random_3sat_agreement_with_bruteforce(self):
+        import random
+        rng = random.Random(7)
+        n = 8
+        names = [f"r3_{i}" for i in range(n)]
+        vs = [bool_var(nm) for nm in names]
+        for trial in range(25):
+            clauses = []
+            for _ in range(rng.randint(1, 30)):
+                lits = rng.sample(range(n), 3)
+                signs = [rng.random() < 0.5 for _ in range(3)]
+                clauses.append(list(zip(lits, signs)))
+            brute_sat = any(
+                all(
+                    any((assignment >> v) & 1 == (0 if neg else 1)
+                        for v, neg in clause)
+                    for clause in clauses
+                )
+                for assignment in range(1 << n)
+            )
+            s = Solver()
+            for clause in clauses:
+                s.add(or_(*[not_(vs[v]) if neg else vs[v]
+                            for v, neg in clause]))
+            assert (s.check() is SAT) == brute_sat, f"trial {trial}"
+
+
+class TestAssumptions:
+    def test_assumptions_do_not_persist(self):
+        a, b = bool_var("as_a"), bool_var("as_b")
+        s = Solver()
+        s.add(implies(a, b))
+        assert s.check([a, not_(b)]) is UNSAT
+        assert s.check([a]) is SAT
+        assert s.model().value("as_b") is True
+        assert s.check() is SAT
+
+    def test_assumption_over_compound_term(self):
+        a, b = bool_var("as_a"), bool_var("as_b")
+        s = Solver()
+        s.add(or_(a, b))
+        assert s.check([and_(not_(a), not_(b))]) is UNSAT
+
+    def test_contradictory_assumptions(self):
+        a = bool_var("as_a")
+        s = Solver()
+        s.add(or_(a, not_(a)))
+        assert s.check([a, not_(a)]) is UNSAT
+
+    def test_assumption_on_bv_comparison(self):
+        x = bv_var("as_x", 8)
+        s = Solver()
+        s.add(ult(x, bv_val(10, 8)))
+        assert s.check([ugt(x, bv_val(20, 8))]) is UNSAT
+        assert s.check([ugt(x, bv_val(5, 8))]) is SAT
+        assert 5 < s.model().value("as_x") < 10
+
+
+class TestIncremental:
+    def test_add_after_check(self):
+        a, b = bool_var("in_a"), bool_var("in_b")
+        s = Solver()
+        s.add(or_(a, b))
+        assert s.check() is SAT
+        s.add(not_(a))
+        assert s.check() is SAT
+        assert s.model().value("in_b") is True
+        s.add(not_(b))
+        assert s.check() is UNSAT
+
+    def test_unsat_is_sticky(self):
+        a = bool_var("in_a")
+        s = Solver()
+        s.add(a, not_(a))
+        assert s.check() is UNSAT
+        s.add(or_(a, not_(a)))
+        assert s.check() is UNSAT
+
+
+class TestBitVectorSolving:
+    def test_addition_model(self):
+        x, y = bv_var("bvs_x", 8), bv_var("bvs_y", 8)
+        s = Solver()
+        s.add(eq(bv_add(x, y), bv_val(10, 8)), ult(x, y),
+              ugt(x, bv_val(3, 8)))
+        assert s.check() is SAT
+        m = s.model()
+        assert (m.value("bvs_x") + m.value("bvs_y")) % 256 == 10
+        assert 3 < m.value("bvs_x") < m.value("bvs_y")
+
+    def test_addition_wraps_modulo(self):
+        x = bv_var("bvs_x", 8)
+        s = Solver()
+        s.add(eq(bv_add(x, bv_val(1, 8)), bv_val(0, 8)))
+        assert s.check() is SAT
+        assert s.model().value("bvs_x") == 255
+
+    def test_comparison_unsat_window(self):
+        x = bv_var("bvs_x", 8)
+        s = Solver()
+        s.add(ult(x, bv_val(5, 8)), ugt(x, bv_val(5, 8)))
+        assert s.check() is UNSAT
+
+    def test_ne_forces_difference(self):
+        x, y = bv_var("bvs_x", 4), bv_var("bvs_y", 4)
+        s = Solver()
+        s.add(ne(x, y), ule(x, bv_val(0, 4)), ule(y, bv_val(1, 4)))
+        assert s.check() is SAT
+        m = s.model()
+        assert m.value("bvs_x") == 0
+        assert m.value("bvs_y") == 1
+
+    def test_ite_selection(self):
+        c = bool_var("bvs_c")
+        x, y = bv_var("bvs_x", 8), bv_var("bvs_y", 8)
+        z = bv_ite(c, x, y)
+        s = Solver()
+        s.add(eq(z, bv_val(42, 8)), not_(c), eq(x, bv_val(1, 8)))
+        assert s.check() is SAT
+        assert s.model().value("bvs_y") == 42
+
+    def test_wide_vector(self):
+        ip = bv_var("bvs_ip", 32)
+        s = Solver()
+        lo = bv_val(0xC0A80000, 32)
+        hi = bv_val(0xC0A80000 + (1 << 16), 32)
+        s.add(ule(lo, ip), ult(ip, hi))
+        assert s.check() is SAT
+        assert (s.model().value("bvs_ip") >> 16) == 0xC0A8
+
+
+class TestCardinality:
+    @pytest.mark.parametrize("n,k", [(1, 0), (4, 2), (6, 3), (9, 1), (5, 5)])
+    def test_exactly_k_models(self, n, k):
+        bits = fresh_vars(f"card{n}_{k}_", n)
+        s = Solver()
+        s.add(exactly_k(bits, k))
+        assert s.check() is SAT
+        m = s.model()
+        total = sum(1 for i in range(n)
+                    if m.value(f"card{n}_{k}_{i}"))
+        assert total == k
+
+    def test_at_most_k_rejects_overflow(self):
+        bits = fresh_vars("amk_", 4)
+        s = Solver()
+        s.add(at_most_k(bits, 1), bits[0], bits[2])
+        assert s.check() is UNSAT
+
+    def test_exactly_zero(self):
+        bits = fresh_vars("xz_", 3)
+        s = Solver()
+        s.add(exactly_k(bits, 0))
+        assert s.check() is SAT
+        m = s.model()
+        assert not any(m.value(f"xz_{i}") for i in range(3))
+
+
+class TestSolverIntrospection:
+    def test_rejects_non_boolean_assertion(self):
+        s = Solver()
+        with pytest.raises(TypeError):
+            s.add(bv_val(1, 4))
+
+    def test_stats_and_counts_populated(self):
+        a, b = bool_var("si_a"), bool_var("si_b")
+        s = Solver()
+        s.add(or_(a, b), iff(a, b))
+        assert s.check() is SAT
+        assert s.num_variables >= 2
+        assert s.num_clauses >= 1
+        stats = s.stats
+        assert stats["vars"] == s.num_variables
+        assert s.last_check_seconds >= 0.0
+
+    def test_assertions_are_recorded(self):
+        a = bool_var("si_a")
+        s = Solver()
+        s.add(a)
+        assert s.assertions() == [a]

@@ -1,4 +1,4 @@
-.PHONY: install test bench tables tables-full examples clean
+.PHONY: install test bench tables tables-full examples check clean
 
 install:
 	pip install -e .
@@ -8,6 +8,13 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Gate for CI and pre-merge: the full test suite plus a fast (< 30 s)
+# batch-engine smoke that cross-checks batch results against the naive
+# per-query loop.  Needs no installed package, only PYTHONPATH.
+check:
+	PYTHONPATH=src python -m pytest -x -q
+	PYTHONPATH=src:. python benchmarks/run_batch_smoke.py
 
 # Regenerate every table/figure of the paper's evaluation (quick subset).
 tables:

@@ -28,6 +28,8 @@ if _sys.getrecursionlimit() < 100000:
 __version__ = "1.0.0"
 
 from repro.core import (  # noqa: E402
+    BatchEngine,
+    BatchQuery,
     EncoderOptions,
     NetworkEncoder,
     VerificationResult,
@@ -43,5 +45,6 @@ from repro.net import (  # noqa: E402
 __all__ = [
     "Network", "NetworkBuilder", "load_network", "network_from_texts",
     "Verifier", "VerificationResult", "EncoderOptions", "NetworkEncoder",
+    "BatchEngine", "BatchQuery",
     "__version__",
 ]

@@ -7,6 +7,9 @@ Examples::
         --dest-prefix 10.9.0.0/24 --max-failures 1
     python -m repro verify configs/ blackholes --dest-prefix 10.0.0.0/8
     python -m repro verify configs/ loops
+    python -m repro verify-batch configs/ --property reachability \
+        --property blackholes --dest-prefix 10.9.0.0/24 --workers 4
+    python -m repro verify-batch configs/ --spec queries.json
     python -m repro equivalence configs/ R1 R2
     python -m repro simulate configs/ --from R1 --dst 10.9.0.5
 """
@@ -14,13 +17,17 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
-from repro.core import Verifier, properties as P
+from repro.core import BatchQuery, Verifier, properties as P
 from repro.net import load_network
 
 __all__ = ["main"]
+
+PROPERTY_CHOICES = ["reachability", "isolation", "blackholes", "loops",
+                    "bounded-length", "waypoint", "prefix-leak"]
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -34,10 +41,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     verify = sub.add_parser("verify", help="verify a property")
     verify.add_argument("configs")
-    verify.add_argument("property",
-                        choices=["reachability", "isolation", "blackholes",
-                                 "loops", "bounded-length", "waypoint",
-                                 "prefix-leak"])
+    verify.add_argument("property", choices=PROPERTY_CHOICES)
     verify.add_argument("--sources", nargs="*", default=None,
                         help="source routers (default: all)")
     verify.add_argument("--dest-prefix", default=None,
@@ -53,6 +57,35 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="verify under up to k link failures")
     verify.add_argument("--announced-by", nargs="*", default=[],
                         help="assume these peers announce the destination")
+
+    batch = sub.add_parser(
+        "verify-batch",
+        help="verify many properties in one run (shared encodings, "
+             "optional process-pool parallelism)")
+    batch.add_argument("configs")
+    batch.add_argument("--spec", default=None,
+                       help="JSON query-spec file: a list of objects, each "
+                            'like {"property": "reachability", "sources": '
+                            '["R1"], "dest_prefix": "10.9.0.0/24", '
+                            '"max_failures": 1, "label": "edge-reach"}')
+    batch.add_argument("--property", dest="properties", action="append",
+                       choices=PROPERTY_CHOICES, default=[],
+                       help="property to check (repeatable; each repeat "
+                            "makes one query from the shared flags below)")
+    batch.add_argument("--sources", nargs="*", default=None)
+    batch.add_argument("--dest-prefix", default=None)
+    batch.add_argument("--dest-peer", default=None)
+    batch.add_argument("--bound", type=int, default=4)
+    batch.add_argument("--waypoints", nargs="*", default=[])
+    batch.add_argument("--max-leak-length", type=int, default=24)
+    batch.add_argument("--max-failures", type=int, default=None)
+    batch.add_argument("--announced-by", nargs="*", default=[])
+    batch.add_argument("--workers", type=int, default=1,
+                       help="process-pool workers for query groups "
+                            "(1 = serial)")
+    batch.add_argument("--stats", action="store_true",
+                       help="print per-query vars/clauses/conflicts and "
+                            "encode/solve time split")
 
     equiv = sub.add_parser("equivalence",
                            help="check local equivalence of two routers")
@@ -76,34 +109,50 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _make_property(args) -> P.Property:
-    if args.property == "reachability":
+def _property_from_spec(kind: str, spec: dict) -> P.Property:
+    """Build a property from a flat spec dict (CLI flags or JSON entry)."""
+    sources = spec.get("sources")
+    dest_prefix = spec.get("dest_prefix")
+    dest_peer = spec.get("dest_peer")
+    if kind == "reachability":
         return P.Reachability(
-            sources=args.sources or "all",
-            dest_prefix_text=args.dest_prefix, dest_peer=args.dest_peer)
-    if args.property == "isolation":
+            sources=sources or "all",
+            dest_prefix_text=dest_prefix, dest_peer=dest_peer)
+    if kind == "isolation":
         return P.Isolation(
-            sources=args.sources or [],
-            dest_prefix_text=args.dest_prefix, dest_peer=args.dest_peer)
-    if args.property == "blackholes":
-        return P.NoBlackHoles(dest_prefix_text=args.dest_prefix)
-    if args.property == "loops":
-        return P.NoForwardingLoops(dest_prefix_text=args.dest_prefix)
-    if args.property == "bounded-length":
+            sources=sources or [],
+            dest_prefix_text=dest_prefix, dest_peer=dest_peer)
+    if kind == "blackholes":
+        return P.NoBlackHoles(allowed=spec.get("allowed", ()),
+                              dest_prefix_text=dest_prefix)
+    if kind == "loops":
+        return P.NoForwardingLoops(dest_prefix_text=dest_prefix)
+    if kind == "bounded-length":
         return P.BoundedPathLength(
-            sources=args.sources or "all", bound=args.bound,
-            dest_prefix_text=args.dest_prefix, dest_peer=args.dest_peer)
-    if args.property == "waypoint":
-        sources = args.sources or []
+            sources=sources or "all", bound=spec.get("bound", 4),
+            dest_prefix_text=dest_prefix, dest_peer=dest_peer)
+    if kind == "waypoint":
+        sources = sources or []
         if len(sources) != 1:
-            raise SystemExit("waypoint needs exactly one --sources router")
+            raise SystemExit("waypoint needs exactly one sources router")
         return P.Waypointing(
-            source=sources[0], waypoints=args.waypoints,
-            dest_prefix_text=args.dest_prefix, dest_peer=args.dest_peer)
-    if args.property == "prefix-leak":
-        return P.NoPrefixLeak(max_length=args.max_leak_length,
-                              dest_prefix_text=args.dest_prefix)
-    raise SystemExit(f"unknown property {args.property}")
+            source=sources[0], waypoints=spec.get("waypoints", []),
+            dest_prefix_text=dest_prefix, dest_peer=dest_peer)
+    if kind == "prefix-leak":
+        return P.NoPrefixLeak(max_length=spec.get("max_leak_length", 24),
+                              dest_prefix_text=dest_prefix)
+    raise SystemExit(f"unknown property {kind}")
+
+
+def _make_property(args) -> P.Property:
+    return _property_from_spec(args.property, {
+        "sources": args.sources,
+        "dest_prefix": args.dest_prefix,
+        "dest_peer": args.dest_peer,
+        "bound": args.bound,
+        "waypoints": args.waypoints,
+        "max_leak_length": args.max_leak_length,
+    })
 
 
 def _cmd_show(args) -> int:
@@ -135,6 +184,80 @@ def _cmd_verify(args) -> int:
     if result.holds is False and result.counterexample is not None:
         print(result.counterexample.summary())
     return 0 if result.holds else 1
+
+
+def _batch_queries(args) -> List[BatchQuery]:
+    queries: List[BatchQuery] = []
+    if args.spec:
+        try:
+            with open(args.spec) as handle:
+                entries = json.load(handle)
+        except OSError as exc:
+            raise SystemExit(f"cannot read --spec file: {exc}")
+        except json.JSONDecodeError as exc:
+            raise SystemExit(f"--spec is not valid JSON: {exc}")
+        if not isinstance(entries, list):
+            raise SystemExit("--spec must contain a JSON list of queries")
+        for i, entry in enumerate(entries):
+            kind = entry.get("property")
+            if kind not in PROPERTY_CHOICES:
+                raise SystemExit(
+                    f"query {i}: unknown property {kind!r} "
+                    f"(choose from {', '.join(PROPERTY_CHOICES)})")
+            assumptions = tuple(P.announces(peer)
+                                for peer in entry.get("announced_by", []))
+            queries.append(BatchQuery(
+                prop=_property_from_spec(kind, entry),
+                max_failures=entry.get("max_failures"),
+                assumptions=assumptions,
+                label=entry.get("label")))
+    shared = {
+        "sources": args.sources,
+        "dest_prefix": args.dest_prefix,
+        "dest_peer": args.dest_peer,
+        "bound": args.bound,
+        "waypoints": args.waypoints,
+        "max_leak_length": args.max_leak_length,
+    }
+    assumptions = tuple(P.announces(peer) for peer in args.announced_by)
+    for kind in args.properties:
+        queries.append(BatchQuery(
+            prop=_property_from_spec(kind, shared),
+            max_failures=args.max_failures,
+            assumptions=assumptions))
+    if not queries:
+        raise SystemExit(
+            "verify-batch needs --spec and/or at least one --property")
+    return queries
+
+
+def _cmd_verify_batch(args) -> int:
+    if args.workers < 1:
+        raise SystemExit("--workers must be >= 1")
+    network = load_network(args.configs)
+    verifier = Verifier(network)
+    queries = _batch_queries(args)
+    results = verifier.verify_batch(queries, workers=args.workers)
+    status_text = {True: "HOLDS", False: "VIOLATED", None: "UNKNOWN"}
+    for query, result in zip(queries, results):
+        line = (f"{result.property_name}: {status_text[result.holds]} "
+                f"({result.seconds * 1e3:.1f} ms)")
+        if result.message:
+            line += f" — {result.message}"
+        print(line)
+        if args.stats:
+            print(f"  vars={result.num_variables} "
+                  f"clauses={result.num_clauses} "
+                  f"conflicts={result.conflicts} "
+                  f"encode={result.encode_seconds * 1e3:.1f}ms "
+                  f"solve={result.solve_seconds * 1e3:.1f}ms")
+        if result.holds is False and result.counterexample is not None:
+            print("  " + result.counterexample.summary()
+                  .replace("\n", "\n  "))
+    total = sum(r.seconds for r in results)
+    holding = sum(1 for r in results if r.holds is True)
+    print(f"{holding}/{len(results)} hold, total {total * 1e3:.1f} ms")
+    return 0 if all(r.holds is True for r in results) else 1
 
 
 def _cmd_equivalence(args) -> int:
@@ -180,6 +303,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "show": _cmd_show,
         "verify": _cmd_verify,
+        "verify-batch": _cmd_verify_batch,
         "equivalence": _cmd_equivalence,
         "simulate": _cmd_simulate,
     }

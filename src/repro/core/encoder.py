@@ -139,6 +139,24 @@ class EncodedNetwork:
             existing.control = or_(existing.control, control)
             existing.data = or_(existing.data, data)
 
+    # -- constraint checkpoints (shared-encoding reuse) --------------------
+
+    def checkpoint(self) -> int:
+        """Mark the current constraint count.  The batch engine encodes a
+        property, collects the instrumentation it appended via
+        :meth:`constraints_since`, then :meth:`rollback`s so the shared
+        encoding is not mutated across properties."""
+        return len(self.constraints)
+
+    def constraints_since(self, mark: int) -> List[Term]:
+        return self.constraints[mark:]
+
+    def rollback(self, mark: int) -> None:
+        """Drop constraints appended after ``mark``."""
+        if mark < 0 or mark > len(self.constraints):
+            raise ValueError(f"invalid checkpoint {mark}")
+        del self.constraints[mark:]
+
     # -- queries used by properties ----------------------------------------
 
     @property

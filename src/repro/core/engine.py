@@ -1,0 +1,235 @@
+"""Batch verification engine: many queries, shared work.
+
+Minesweeper's headline workloads are many-query audits (the paper's §8.1
+four-check battery over 152 networks; pairwise reachability fanning out
+over every (source, destination-prefix) pair).  Running each query through
+the full encode → bit-blast → Tseitin → fresh-CDCL pipeline repeats the
+dominant cost — network constraint generation — once per query even when
+queries only differ in the property term.
+
+This engine exploits two levers:
+
+* **Shared-encoding incremental solving.**  Queries are grouped by
+  (destination prefix, effective failure bound); the group's network is
+  encoded once and loaded into one :class:`Solver`.  Each property's
+  instrumentation is asserted *guarded by a fresh activation literal*
+  (``act → c`` for every instrumentation constraint ``c``) and the check
+  runs under ``assumptions=[act, ¬P]``.  Guarding matters: property
+  instrumentation such as path-length counters is not always a
+  conservative extension (a multipath state with unequal branch lengths
+  contradicts the hop-counter equations), so left unguarded it would
+  silently shrink the state space seen by later queries in the group.
+  With guards, earlier instrumentation is inert — the solver simply sets
+  its activation literal false — and every answer is identical to a
+  fresh per-query solve.
+
+* **Process-pool parallelism across groups.**  Groups are independent
+  (they share no solver), so with ``workers > 1`` they run under a
+  :class:`concurrent.futures.ProcessPoolExecutor`.  Results are reordered
+  to query order regardless of completion order, and any pool failure
+  (spawn errors, pickling issues) falls back to the serial path.
+
+Lazy properties (``prop.lazy``, e.g. :class:`LoadBalanced`) enumerate
+stable states with destructive blocking clauses and therefore cannot share
+a solver; they are routed through ``Verifier.verify`` individually.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.net.topology import Network
+from repro.smt import Solver, UNKNOWN, UNSAT, implies, not_
+from .counterexample import extract_counterexample
+from .encoder import EncoderOptions, NetworkEncoder
+from .properties import Property
+from .verifier import (
+    VerificationResult,
+    Verifier,
+    effective_max_failures,
+)
+
+__all__ = ["BatchQuery", "BatchEngine", "verify_batch"]
+
+
+@dataclass(frozen=True)
+class BatchQuery:
+    """One query of a batch: a property plus per-query knobs.
+
+    ``max_failures`` follows ``Verifier.verify`` semantics: an explicit
+    value (including 0) overrides the engine-level option default, and
+    ``prop.failures_needed`` wins only when larger.  ``assumptions`` are
+    callables ``enc -> Term`` (e.g. :func:`repro.core.properties.announces`)
+    applied per-check, so they never leak into sibling queries.
+    """
+
+    prop: Property
+    max_failures: Optional[int] = None
+    assumptions: Tuple = ()
+    label: Optional[str] = None
+
+    def name(self) -> str:
+        return self.label or type(self.prop).__name__
+
+
+# Group key: (dst_prefix, effective max_failures).  Options are engine-wide
+# and identical across groups except for the failure bound.
+_GroupKey = Tuple[Optional[Tuple[int, int]], int]
+
+
+class BatchEngine:
+    """Plans and executes a batch of verification queries."""
+
+    def __init__(self, network: Network,
+                 options: Optional[EncoderOptions] = None,
+                 conflict_budget: Optional[int] = None,
+                 workers: int = 1) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.network = network
+        self.options = options or EncoderOptions()
+        self.conflict_budget = conflict_budget
+        self.workers = workers
+
+    # ------------------------------------------------------------------
+
+    def run(self, queries: Sequence) -> List[VerificationResult]:
+        """Execute all queries; results are returned in query order."""
+        batch = [q if isinstance(q, BatchQuery) else BatchQuery(prop=q)
+                 for q in queries]
+        groups: Dict[_GroupKey, List[Tuple[int, BatchQuery]]] = {}
+        lazy: List[Tuple[int, BatchQuery]] = []
+        for index, query in enumerate(batch):
+            if getattr(query.prop, "lazy", False):
+                lazy.append((index, query))
+                continue
+            key = (query.prop.dst_prefix(),
+                   effective_max_failures(query.prop, query.max_failures,
+                                          self.options))
+            groups.setdefault(key, []).append((index, query))
+
+        results: List[Optional[VerificationResult]] = [None] * len(batch)
+        if self.workers > 1 and len(groups) > 1:
+            done = self._run_parallel(groups, results)
+        else:
+            done = False
+        if not done:
+            for key, members in groups.items():
+                for index, result in self._run_group(key, members):
+                    results[index] = result
+
+        if lazy:
+            verifier = Verifier(self.network, options=self.options,
+                                conflict_budget=self.conflict_budget)
+            for index, query in lazy:
+                result = verifier.verify(query.prop,
+                                         max_failures=query.max_failures,
+                                         assumptions=query.assumptions)
+                if query.label:
+                    result.property_name = query.label
+                results[index] = result
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+
+    def _group_options(self, key: _GroupKey) -> EncoderOptions:
+        _, k = key
+        options = self.options
+        if k != options.max_failures:
+            options = replace(options, max_failures=k)
+        return options
+
+    def _run_group(self, key: _GroupKey,
+                   members: List[Tuple[int, BatchQuery]],
+                   ) -> List[Tuple[int, VerificationResult]]:
+        return _solve_group(self.network, self._group_options(key),
+                            self.conflict_budget, key[0], members)
+
+    def _run_parallel(self, groups, results) -> bool:
+        """Run groups in a process pool.  Returns False (leaving
+        ``results`` to be recomputed serially) if the pool cannot be
+        spawned or any group fails to ship/execute."""
+        items = list(groups.items())
+        workers = min(self.workers, len(items))
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(_solve_group, self.network,
+                                self._group_options(key),
+                                self.conflict_budget, key[0], members)
+                    for key, members in items]
+                for future in as_completed(futures):
+                    for index, result in future.result():
+                        results[index] = result
+        except Exception:
+            return False
+        return True
+
+
+def _solve_group(network: Network, options: EncoderOptions,
+                 conflict_budget: Optional[int],
+                 dst_prefix: Optional[Tuple[int, int]],
+                 members: List[Tuple[int, BatchQuery]],
+                 ) -> List[Tuple[int, VerificationResult]]:
+    """Encode the network once and discharge every query of the group.
+
+    Module-level so it can be pickled to process-pool workers.
+    """
+    shared_start = time.perf_counter()
+    encoder = NetworkEncoder(network, options)
+    enc = encoder.encode(dst_prefix=dst_prefix)
+    solver = Solver(conflict_budget=conflict_budget)
+    solver.add(*enc.constraints)
+    base_mark = enc.checkpoint()
+    shared_share = (time.perf_counter() - shared_start) / len(members)
+
+    out: List[Tuple[int, VerificationResult]] = []
+    for index, query in members:
+        query_start = time.perf_counter()
+        prop_term = query.prop.encode(enc)
+        instrumentation = enc.constraints_since(base_mark)
+        enc.rollback(base_mark)
+        act = enc.fresh_bool("batch.act")
+        solver.add(*[implies(act, c) for c in instrumentation])
+        assumptions = [act, not_(prop_term)]
+        for assumption in query.assumptions:
+            assumptions.append(assumption(enc))
+        encode_seconds = shared_share + time.perf_counter() - query_start
+        outcome = solver.check(assumptions=assumptions)
+        stats = dict(
+            seconds=shared_share + time.perf_counter() - query_start,
+            num_variables=solver.num_variables,
+            num_clauses=solver.num_clauses,
+            encode_seconds=encode_seconds,
+            solve_seconds=solver.last_check_seconds,
+            conflicts=solver.last_check_conflicts)
+        if outcome is UNSAT:
+            result = VerificationResult(property_name=query.name(),
+                                        holds=True, **stats)
+        elif outcome is UNKNOWN:
+            result = VerificationResult(property_name=query.name(),
+                                        holds=None,
+                                        message="conflict budget exhausted",
+                                        **stats)
+        else:
+            model = solver.model()
+            result = VerificationResult(
+                property_name=query.name(), holds=False,
+                counterexample=extract_counterexample(enc, model),
+                message=query.prop.describe_violation(enc, model),
+                **stats)
+        out.append((index, result))
+    return out
+
+
+def verify_batch(network: Network, queries: Sequence,
+                 options: Optional[EncoderOptions] = None,
+                 conflict_budget: Optional[int] = None,
+                 workers: int = 1) -> List[VerificationResult]:
+    """Functional convenience wrapper over :class:`BatchEngine`."""
+    engine = BatchEngine(network, options=options,
+                         conflict_budget=conflict_budget, workers=workers)
+    return engine.run(queries)

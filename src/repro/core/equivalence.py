@@ -119,7 +119,9 @@ def check_local_equivalence(network: Network, router_a: str, router_b: str,
                                   num_clauses=solver.num_clauses)
     if outcome is UNKNOWN:
         return VerificationResult(property_name=name, holds=None,
-                                  message="budget exhausted")
+                                  message="budget exhausted",
+                                  num_variables=solver.num_variables,
+                                  num_clauses=solver.num_clauses)
     model = solver.model()
     from repro.net import ip as iplib
 

@@ -717,33 +717,55 @@ class LoadBalanced(Property):
 # Environment assumptions (used with Verifier.verify(..., assumptions=...))
 # ---------------------------------------------------------------------------
 
+# Assumptions are callable dataclasses rather than closures so that batch
+# queries carrying them can be pickled to worker processes.
+
+@dataclass(frozen=True)
+class _Announces:
+    peer: str
+    min_length: int = 0
+    max_length: int = 32
+    max_path: Optional[int] = None
+
+    def __call__(self, enc: EncodedNetwork) -> Term:
+        record = enc.env[self.peer]
+        width = record.prefix_len.width
+        parts = [record.valid,
+                 ule(bv_val(self.min_length, width), record.prefix_len),
+                 ule(record.prefix_len, bv_val(self.max_length, width))]
+        if self.max_path is not None:
+            parts.append(ule(record.metric,
+                             enc.factory.metric_const(self.max_path)))
+        return and_(*parts)
+
+
+@dataclass(frozen=True)
+class _Silent:
+    peer: str
+
+    def __call__(self, enc: EncodedNetwork) -> Term:
+        return not_(enc.env[self.peer].valid)
+
+
+@dataclass(frozen=True)
+class _NoFailures:
+    def __call__(self, enc: EncodedNetwork) -> Term:
+        bits = list(enc.failed.values()) + list(enc.failed_ext.values())
+        return and_(*[not_(b) for b in bits])
+
+
 def announces(peer: str, min_length: int = 0, max_length: int = 32,
               max_path: Optional[int] = None):
     """Assumption: the named external peer advertises a route covering the
     packet's destination, with the given prefix-length window."""
-    def build(enc: EncodedNetwork) -> Term:
-        record = enc.env[peer]
-        width = record.prefix_len.width
-        parts = [record.valid,
-                 ule(bv_val(min_length, width), record.prefix_len),
-                 ule(record.prefix_len, bv_val(max_length, width))]
-        if max_path is not None:
-            parts.append(ule(record.metric,
-                             enc.factory.metric_const(max_path)))
-        return and_(*parts)
-    return build
+    return _Announces(peer, min_length, max_length, max_path)
 
 
 def silent(peer: str):
     """Assumption: the named external peer advertises nothing."""
-    def build(enc: EncodedNetwork) -> Term:
-        return not_(enc.env[peer].valid)
-    return build
+    return _Silent(peer)
 
 
 def no_failures():
     """Assumption: every modeled link is up."""
-    def build(enc: EncodedNetwork) -> Term:
-        bits = list(enc.failed.values()) + list(enc.failed_ext.values())
-        return and_(*[not_(b) for b in bits])
-    return build
+    return _NoFailures()

@@ -36,12 +36,37 @@ from .counterexample import Counterexample, extract_counterexample
 from .encoder import EncodedNetwork, EncoderOptions, NetworkEncoder
 from .properties import Property, reach_instrumentation
 
-__all__ = ["Verifier", "VerificationResult"]
+__all__ = ["Verifier", "VerificationResult", "effective_max_failures"]
+
+
+def effective_max_failures(prop: Property,
+                           max_failures: Optional[int],
+                           options: EncoderOptions) -> int:
+    """Resolve the failure bound for one query.
+
+    An explicit per-query ``max_failures`` overrides the verifier-level
+    ``options.max_failures`` default (so an explicit 0 is expressible);
+    ``prop.failures_needed`` wins only when larger than the explicit
+    value, since the property cannot be encoded below it.
+    """
+    if max_failures is not None:
+        if max_failures < 0:
+            raise ValueError("max_failures must be >= 0")
+        return max(max_failures, prop.failures_needed)
+    return max(options.max_failures, prop.failures_needed)
 
 
 @dataclass
 class VerificationResult:
-    """Outcome of one verification query."""
+    """Outcome of one verification query.
+
+    ``seconds`` is total wall time; ``encode_seconds`` and
+    ``solve_seconds`` split it into constraint generation (network +
+    property instrumentation, bit-blasting excluded) and SAT search.  In
+    batch mode the shared network-encoding cost is amortized evenly over
+    the queries of a group, so summing ``encode_seconds`` across a batch
+    reflects the real total.
+    """
 
     property_name: str
     holds: Optional[bool]            # None = unknown (budget exhausted)
@@ -50,6 +75,9 @@ class VerificationResult:
     seconds: float = 0.0
     num_variables: int = 0
     num_clauses: int = 0
+    encode_seconds: float = 0.0
+    solve_seconds: float = 0.0
+    conflicts: int = 0
 
     def __bool__(self) -> bool:
         return bool(self.holds)
@@ -84,16 +112,22 @@ class Verifier:
         ``assumptions`` are callables ``enc -> Term`` restricting the
         environments considered (e.g. :func:`announces` to require that
         some external peer advertises the destination).
+
+        An explicit ``max_failures`` wins over the verifier's configured
+        ``options.max_failures`` (so ``max_failures=0`` expresses a
+        zero-failure query on a verifier configured with a failure
+        bound); ``prop.failures_needed`` still raises the bound when the
+        property structurally requires more failures than requested.
         """
         start = time.perf_counter()
         options = self.options
-        k = max(max_failures if max_failures is not None else 0,
-                prop.failures_needed, options.max_failures)
+        k = effective_max_failures(prop, max_failures, options)
         if k != options.max_failures:
             options = replace(options, max_failures=k)
         encoder = NetworkEncoder(self.network, options)
         enc = encoder.encode(dst_prefix=prop.dst_prefix())
         prop_term = prop.encode(enc)
+        encode_seconds = time.perf_counter() - start
         solver = Solver(conflict_budget=self.conflict_budget)
         solver.add(*enc.constraints)
         for assumption in assumptions:
@@ -103,24 +137,48 @@ class Verifier:
         solver.add(not_(prop_term))
         outcome = solver.check()
         seconds = time.perf_counter() - start
+        stats = dict(
+            seconds=seconds, num_variables=solver.num_variables,
+            num_clauses=solver.num_clauses,
+            encode_seconds=encode_seconds,
+            solve_seconds=solver.last_check_seconds,
+            conflicts=solver.last_check_conflicts)
         if outcome is UNSAT:
             return VerificationResult(
-                property_name=type(prop).__name__, holds=True,
-                seconds=seconds, num_variables=solver.num_variables,
-                num_clauses=solver.num_clauses)
+                property_name=type(prop).__name__, holds=True, **stats)
         if outcome is UNKNOWN:
             return VerificationResult(
                 property_name=type(prop).__name__, holds=None,
-                message="conflict budget exhausted", seconds=seconds,
-                num_variables=solver.num_variables,
-                num_clauses=solver.num_clauses)
+                message="conflict budget exhausted", **stats)
         model = solver.model()
         return VerificationResult(
             property_name=type(prop).__name__, holds=False,
             counterexample=extract_counterexample(enc, model),
-            message=prop.describe_violation(enc, model),
-            seconds=seconds, num_variables=solver.num_variables,
-            num_clauses=solver.num_clauses)
+            message=prop.describe_violation(enc, model), **stats)
+
+    # ------------------------------------------------------------------
+    # Batch verification (shared-encoding incremental + parallel groups)
+    # ------------------------------------------------------------------
+
+    def verify_batch(self, queries: Sequence,
+                     workers: int = 1) -> List[VerificationResult]:
+        """Verify many queries, exploiting cross-query sharing.
+
+        ``queries`` is a sequence of :class:`Property` instances or
+        :class:`repro.core.engine.BatchQuery` objects (which add a
+        per-query failure bound, assumptions and a label).  Queries are
+        grouped by (destination prefix, effective failure bound); each
+        group encodes the network once and discharges every property in
+        it via assumption-based incremental checks.  With ``workers > 1``
+        groups run in a process pool; results always come back in query
+        order, identical to per-query :meth:`verify` answers.
+        """
+        from .engine import BatchEngine
+
+        engine = BatchEngine(self.network, options=self.options,
+                             conflict_budget=self.conflict_budget,
+                             workers=workers)
+        return engine.run(queries)
 
     # ------------------------------------------------------------------
     # Lazy load-balancing loop (linear arithmetic outside the SAT core)
@@ -202,7 +260,9 @@ class Verifier:
         if outcome is UNKNOWN:
             return VerificationResult(property_name=name, holds=None,
                                       message="budget exhausted",
-                                      seconds=seconds)
+                                      seconds=seconds,
+                                      num_variables=solver.num_variables,
+                                      num_clauses=solver.num_clauses)
         model = solver.model()
         failed = [key for key, term in enc1.failed.items()
                   if model.eval(term)]
@@ -265,7 +325,9 @@ class Verifier:
         if outcome is UNKNOWN:
             return VerificationResult(property_name=name, holds=None,
                                       message="budget exhausted",
-                                      seconds=seconds)
+                                      seconds=seconds,
+                                      num_variables=solver.num_variables,
+                                      num_clauses=solver.num_clauses)
         model = solver.model()
         diff = [r for r in enc0.routers()
                 if model.eval(reach0[r]) != model.eval(reach1[r])]
@@ -339,7 +401,9 @@ class Verifier:
         if outcome is UNKNOWN:
             return VerificationResult(property_name=name, holds=None,
                                       message="budget exhausted",
-                                      seconds=seconds)
+                                      seconds=seconds,
+                                      num_variables=solver.num_variables,
+                                      num_clauses=solver.num_clauses)
         model = solver.model()
         return VerificationResult(
             property_name=name, holds=False,

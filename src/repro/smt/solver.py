@@ -28,7 +28,14 @@ __all__ = ["Solver", "Model", "Result", "SAT", "UNSAT", "UNKNOWN"]
 
 
 class Result:
-    """Tri-state check outcome, compares equal to itself only."""
+    """Tri-state check outcome, compares equal to itself only.
+
+    Truthiness is deliberately partial: ``bool(SAT)`` is True and
+    ``bool(UNSAT)`` is False, but ``bool(UNKNOWN)`` raises — a
+    budget-exhausted check is not evidence of anything, and treating it
+    as falsy silently conflates "no violation found" with "gave up".
+    Compare outcomes with ``is SAT`` / ``is UNSAT`` / ``is UNKNOWN``.
+    """
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -37,6 +44,10 @@ class Result:
         return self.name
 
     def __bool__(self) -> bool:
+        if self.name == "unknown":
+            raise TypeError(
+                "UNKNOWN check result has no truth value; compare with "
+                "`is SAT` / `is UNSAT` / `is UNKNOWN` instead of bool()")
         return self.name == "sat"
 
 
@@ -82,8 +93,13 @@ class Solver:
         self._sat = SatSolver()
         self._num_clauses_loaded = 0
         self._assertions: List[Term] = []
+        # Assumption terms keep their definitional literal across checks so
+        # repeated assumption-based checks (the batch engine's pattern)
+        # don't re-blast or re-emit gate clauses per call.
+        self._assumption_lit_cache: Dict[int, int] = {}
         self.conflict_budget = conflict_budget
         self.last_check_seconds = 0.0
+        self.last_check_conflicts = 0
 
     # ------------------------------------------------------------------
 
@@ -100,16 +116,30 @@ class Solver:
         return list(self._assertions)
 
     def check(self, assumptions: Sequence[Term] = ()) -> Result:
-        """Solve the current assertions (optionally under assumptions)."""
+        """Solve the current assertions (optionally under assumptions).
+
+        Assumptions hold for this call only: the solver stays reusable for
+        later checks with different (or no) assumptions, and clauses added
+        between checks extend the same CNF incrementally.  Each assumption
+        term is mapped to a definitional literal emitted for both
+        polarities (it may be assumed either way across calls); the
+        mapping is cached per term so repeated batch checks are cheap.
+        """
         assumption_lits = []
         for term in assumptions:
-            blasted = self._blaster.blast(term)
-            assumption_lits.append(self._cnf.literal_for(blasted))
+            lit = self._assumption_lit_cache.get(term.tid)
+            if lit is None:
+                blasted = self._blaster.blast(term)
+                lit = self._cnf.literal_for(blasted)
+                self._assumption_lit_cache[term.tid] = lit
+            assumption_lits.append(lit)
         self._load_clauses()
         start = time.perf_counter()
+        conflicts_before = self._sat.conflicts
         outcome = self._sat.solve(assumption_lits,
                                   conflict_budget=self.conflict_budget)
         self.last_check_seconds = time.perf_counter() - start
+        self.last_check_conflicts = self._sat.conflicts - conflicts_before
         if outcome is None:
             return UNKNOWN
         return SAT if outcome else UNSAT

@@ -79,6 +79,57 @@ class TestVerify:
                   "--dest-prefix", "10.9.0.0/24"])
 
 
+class TestVerifyBatch:
+    def test_flags_mode_all_hold(self, config_dir, capsys):
+        code = main(["verify-batch", config_dir,
+                     "--property", "reachability",
+                     "--property", "blackholes",
+                     "--property", "loops",
+                     "--dest-prefix", "10.9.0.0/24"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3/3 hold" in out
+
+    def test_spec_mode_mixed_verdicts(self, config_dir, tmp_path, capsys):
+        import json
+        spec = tmp_path / "queries.json"
+        spec.write_text(json.dumps([
+            {"property": "reachability", "dest_prefix": "10.9.0.0/24",
+             "label": "rack"},
+            {"property": "reachability", "sources": ["R1"],
+             "dest_prefix": "172.20.0.0/16", "label": "unroutable"},
+            {"property": "blackholes", "dest_prefix": "172.16.0.0/16"},
+        ]))
+        code = main(["verify-batch", config_dir,
+                     "--spec", str(spec), "--stats"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "rack: HOLDS" in out
+        assert "unroutable: VIOLATED" in out
+        assert "dstIp" in out       # counterexample printed
+        assert "clauses=" in out    # --stats output
+        assert "1/3 hold" in out
+
+    def test_workers_flag(self, config_dir, capsys):
+        code = main(["verify-batch", config_dir,
+                     "--property", "reachability",
+                     "--dest-prefix", "10.9.0.0/24",
+                     "--property", "loops",
+                     "--workers", "2"])
+        assert code == 0
+        assert "2/2 hold" in capsys.readouterr().out
+
+    def test_requires_some_query(self, config_dir):
+        with pytest.raises(SystemExit):
+            main(["verify-batch", config_dir])
+
+    def test_rejects_unknown_property_in_spec(self, config_dir, tmp_path):
+        spec = tmp_path / "bad.json"
+        spec.write_text('[{"property": "nonsense"}]')
+        with pytest.raises(SystemExit):
+            main(["verify-batch", config_dir, "--spec", str(spec)])
+
+
 class TestEquivalence:
     def test_equivalence_of_symmetric_routers(self, config_dir):
         # R1 and R3 both have three interfaces but differ (host subnet),

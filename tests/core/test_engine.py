@@ -1,0 +1,231 @@
+"""Batch engine: shared-encoding correctness, grouping, parallelism."""
+
+import pytest
+
+from repro import NetworkBuilder, Verifier
+from repro.core import BatchEngine, BatchQuery, properties as P, verify_batch
+from repro.core.encoder import EncoderOptions
+
+
+def ospf_chain(n=3, multipath=False):
+    b = NetworkBuilder()
+    names = [f"R{i}" for i in range(1, n + 1)]
+    for name in names:
+        b.device(name).enable_ospf(multipath=multipath)
+        b.device(name).ospf_network("10.0.0.0/8")
+    for a, c in zip(names, names[1:]):
+        b.link(a, c)
+    b.device(names[-1]).interface("host", "10.9.0.1/24")
+    return b.build()
+
+
+def diamond(multipath=True):
+    b = NetworkBuilder()
+    for name in ("S", "L", "R", "D"):
+        b.device(name).enable_ospf(multipath=multipath)
+        b.device(name).ospf_network("10.0.0.0/8")
+    b.link("S", "L")
+    b.link("S", "R")
+    b.link("L", "D")
+    b.link("R", "D")
+    b.device("D").interface("host", "10.9.0.1/24")
+    return b.build()
+
+
+def query_matrix():
+    """A mixed batch: holding and violated, two destination prefixes."""
+    return [
+        BatchQuery(P.Reachability(sources="all",
+                                  dest_prefix_text="10.9.0.0/24")),
+        BatchQuery(P.Reachability(sources=["R1"],
+                                  dest_prefix_text="172.20.0.0/16"),
+                   label="unroutable"),
+        BatchQuery(P.NoBlackHoles(dest_prefix_text="10.9.0.0/24")),
+        BatchQuery(P.NoForwardingLoops(dest_prefix_text="10.9.0.0/24")),
+        BatchQuery(P.BoundedPathLength(sources="all", bound=1,
+                                       dest_prefix_text="10.9.0.0/24")),
+        BatchQuery(P.BoundedPathLength(sources="all", bound=6,
+                                       dest_prefix_text="10.9.0.0/24")),
+    ]
+
+
+def assert_matches_serial(network, queries, results, **verify_kwargs):
+    verifier = Verifier(network, **verify_kwargs)
+    assert len(results) == len(queries)
+    for query, batched in zip(queries, results):
+        serial = verifier.verify(query.prop,
+                                 max_failures=query.max_failures,
+                                 assumptions=list(query.assumptions))
+        assert batched.holds == serial.holds, query.name()
+        assert (batched.counterexample is None) == \
+            (serial.counterexample is None), query.name()
+
+
+class TestBatchMatchesSerial:
+    def test_chain_matrix(self):
+        network = ospf_chain(3)
+        queries = query_matrix()
+        results = verify_batch(network, queries)
+        assert_matches_serial(network, queries, results)
+        # Spot-check expected verdicts, not just serial agreement.
+        assert [r.holds for r in results] == \
+            [True, False, True, True, False, True]
+
+    def test_multipath_diamond_matrix(self):
+        # Multipath states are exactly where unguarded instrumentation
+        # sharing would be unsound (hop-counter equations conflict with
+        # unequal branch lengths), so exercise them explicitly.
+        network = diamond(multipath=True)
+        queries = [
+            BatchQuery(P.Reachability(sources="all",
+                                      dest_prefix_text="10.9.0.0/24")),
+            BatchQuery(P.BoundedPathLength(sources=["S"], bound=2,
+                                           dest_prefix_text="10.9.0.0/24")),
+            BatchQuery(P.MultipathConsistency(
+                dest_prefix_text="10.9.0.0/24")),
+            BatchQuery(P.EqualPathLengths(routers=["S", "L", "R"],
+                                          dest_prefix_text="10.9.0.0/24")),
+            BatchQuery(P.NoForwardingLoops(dest_prefix_text="10.9.0.0/24")),
+        ]
+        results = verify_batch(network, queries)
+        assert_matches_serial(network, queries, results)
+
+    def test_instrumented_query_does_not_taint_siblings(self):
+        # A bounded-length property asserts hop-counter instrumentation.
+        # If that leaked unguarded into the shared solver it would shrink
+        # the state space for the queries checked after it.
+        network = diamond(multipath=True)
+        queries = [
+            BatchQuery(P.BoundedPathLength(sources=["S"], bound=1,
+                                           dest_prefix_text="10.9.0.0/24"),
+                       label="too-tight"),
+            BatchQuery(P.Reachability(sources="all",
+                                      dest_prefix_text="10.9.0.0/24")),
+            BatchQuery(P.EqualPathLengths(routers=["L", "R"],
+                                          dest_prefix_text="10.9.0.0/24")),
+        ]
+        results = verify_batch(network, queries)
+        assert_matches_serial(network, queries, results)
+        assert results[0].holds is False
+
+    def test_per_query_assumptions_do_not_leak(self):
+        b = NetworkBuilder()
+        b.device("R1").enable_bgp(65001)
+        b.external_peer("R1", asn=65100, name="EXT")
+        network = b.build()
+        prop = P.Reachability(sources=["R1"], dest_peer="EXT",
+                              dest_prefix_text="8.0.0.0/8")
+        queries = [
+            BatchQuery(prop,
+                       assumptions=(P.announces("EXT", min_length=8),),
+                       label="assumed"),
+            BatchQuery(prop, label="unassumed"),
+        ]
+        results = verify_batch(network, queries)
+        assert results[0].holds is True
+        assert results[1].holds is False
+        assert_matches_serial(network, queries, results)
+
+    def test_plain_properties_accepted(self):
+        network = ospf_chain(2)
+        results = verify_batch(network, [
+            P.Reachability(sources="all", dest_prefix_text="10.9.0.0/24"),
+            P.NoForwardingLoops(dest_prefix_text="10.9.0.0/24"),
+        ])
+        assert [r.holds for r in results] == [True, True]
+
+
+class TestGroupingAndOrdering:
+    def test_results_in_query_order(self):
+        network = ospf_chain(3)
+        queries = query_matrix()
+        results = verify_batch(network, queries)
+        expected_names = [q.name() for q in queries]
+        assert [r.property_name for r in results] == expected_names
+
+    def test_groups_split_by_max_failures(self):
+        network = diamond(multipath=False)
+        prop = P.Reachability(sources=["S"],
+                              dest_prefix_text="10.9.0.0/24")
+        queries = [
+            BatchQuery(prop, max_failures=0, label="k0"),
+            BatchQuery(prop, max_failures=1, label="k1"),
+            BatchQuery(prop, max_failures=2, label="k2"),
+        ]
+        engine = BatchEngine(network)
+        results = engine.run(queries)
+        # Diamond survives any single failure but not two (both L and R
+        # links from S cut off the source).
+        assert [r.holds for r in results] == [True, True, False]
+        assert_matches_serial(network, queries, results)
+
+    def test_explicit_zero_overrides_engine_default(self):
+        network = ospf_chain(2)
+        prop = P.Reachability(sources=["R1"],
+                              dest_prefix_text="10.9.0.0/24")
+        engine = BatchEngine(network,
+                             options=EncoderOptions(max_failures=1))
+        results = engine.run([BatchQuery(prop, max_failures=0, label="k0"),
+                              BatchQuery(prop, label="default")])
+        # On a 2-node chain one failure disconnects R1, so the engine
+        # default (k=1) must report a violation while the explicit k=0
+        # query holds.
+        assert results[0].holds is True
+        assert results[1].holds is False
+
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ValueError):
+            BatchEngine(ospf_chain(2), workers=0)
+
+
+class TestParallel:
+    def test_parallel_matches_serial(self):
+        network = ospf_chain(3)
+        queries = query_matrix()
+        serial = verify_batch(network, queries, workers=1)
+        parallel = verify_batch(network, queries, workers=2)
+        assert [r.holds for r in serial] == [r.holds for r in parallel]
+        assert [r.property_name for r in serial] == \
+            [r.property_name for r in parallel]
+        for s, p in zip(serial, parallel):
+            assert (s.counterexample is None) == (p.counterexample is None)
+
+
+class TestLazyFallback:
+    def test_load_balanced_routed_through_verifier(self):
+        network = diamond(multipath=True)
+        queries = [
+            BatchQuery(P.LoadBalanced(source_loads={"S": 1.0},
+                                      monitor=[("L", "R")], threshold=0.01,
+                                      dest_prefix_text="10.9.0.0/24"),
+                       label="lb"),
+            BatchQuery(P.Reachability(sources="all",
+                                      dest_prefix_text="10.9.0.0/24")),
+        ]
+        results = verify_batch(network, queries)
+        assert results[0].property_name == "lb"
+        assert results[0].holds is True
+        assert results[1].holds is True
+        assert_matches_serial(network, queries, results)
+
+
+class TestStats:
+    def test_per_query_stats_populated(self):
+        network = ospf_chain(3)
+        results = verify_batch(network, query_matrix())
+        for result in results:
+            assert result.num_variables > 0
+            assert result.num_clauses > 0
+            assert result.seconds > 0
+            assert result.encode_seconds > 0
+            assert result.solve_seconds >= 0
+            assert result.conflicts >= 0
+            assert result.seconds >= result.encode_seconds
+
+    def test_verifier_entry_point(self):
+        network = ospf_chain(2)
+        verifier = Verifier(network)
+        results = verifier.verify_batch([
+            P.Reachability(sources="all", dest_prefix_text="10.9.0.0/24"),
+        ])
+        assert len(results) == 1 and results[0].holds is True

@@ -477,3 +477,50 @@ class TestEncoderOptions:
                                     peers_in_order=["N1", "N2"],
                                     dest_prefix_text="8.0.0.0/8")
         assert Verifier(net, options=options).verify(prop).holds is True
+
+
+class TestMaxFailuresPrecedence:
+    """An explicit ``max_failures`` argument must win over the option
+    default; ``prop.failures_needed`` wins only when larger."""
+
+    def test_explicit_zero_beats_option_default(self):
+        b, names = ospf_chain(2)
+        verifier = Verifier(b.build(),
+                            options=EncoderOptions(max_failures=1))
+        prop = P.Reachability(sources=["R1"],
+                              dest_prefix_text="10.9.0.0/24")
+        # Under the option default (k=1) the single link can fail and R1
+        # is cut off; an explicit k=0 must suppress that.
+        assert verifier.verify(prop).holds is False
+        assert verifier.verify(prop, max_failures=0).holds is True
+
+    def test_explicit_value_beats_option_default(self):
+        from tests.core.test_engine import diamond
+        verifier = Verifier(diamond(multipath=False),
+                            options=EncoderOptions(max_failures=2))
+        prop = P.Reachability(sources=["S"],
+                              dest_prefix_text="10.9.0.0/24")
+        assert verifier.verify(prop).holds is False
+        assert verifier.verify(prop, max_failures=1).holds is True
+
+    def test_failures_needed_still_wins_when_larger(self):
+        from repro.core.verifier import effective_max_failures
+        options = EncoderOptions(max_failures=0)
+        plain = P.Reachability(sources=["R1"],
+                               dest_prefix_text="10.9.0.0/24")
+        assert effective_max_failures(plain, None, options) == 0
+        assert effective_max_failures(plain, 2, options) == 2
+        # A property that advertises failures_needed floors the bound
+        # even against a smaller explicit argument.
+        needy = P.Reachability(sources=["R1"],
+                               dest_prefix_text="10.9.0.0/24",
+                               failures_needed=2)
+        assert effective_max_failures(needy, 0, options) == 2
+        assert effective_max_failures(needy, 3, options) == 3
+
+    def test_negative_rejected(self):
+        from repro.core.verifier import effective_max_failures
+        prop = P.Reachability(sources=["R1"],
+                              dest_prefix_text="10.9.0.0/24")
+        with pytest.raises(ValueError):
+            effective_max_failures(prop, -1, EncoderOptions())

@@ -1,4 +1,5 @@
-.PHONY: install test bench tables tables-full examples check clean
+.PHONY: install test bench tables tables-full examples check clean \
+	analyze lint
 
 install:
 	pip install -e .
@@ -9,12 +10,28 @@ test:
 bench:
 	pytest benchmarks/ --benchmark-only
 
+# Static analysis over the example configs (all rules, SMT included);
+# exits non-zero on any warning or error.
+analyze:
+	PYTHONPATH=src python -m repro analyze examples/configs/
+
+# Style/lint via ruff when available (CI installs it; the dev container
+# may not have it — skip with a notice rather than fail).
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed; skipping lint"; \
+	fi
+
 # Gate for CI and pre-merge: the full test suite plus a fast (< 30 s)
 # batch-engine smoke that cross-checks batch results against the naive
-# per-query loop.  Needs no installed package, only PYTHONPATH.
-check:
+# per-query loop, plus the analyzer run over the shipped example
+# configs.  Needs no installed package, only PYTHONPATH.
+check: lint analyze
 	PYTHONPATH=src python -m pytest -x -q
 	PYTHONPATH=src:. python benchmarks/run_batch_smoke.py
+	PYTHONPATH=src:. python benchmarks/run_analysis_smoke.py
 
 # Regenerate every table/figure of the paper's evaluation (quick subset).
 tables:

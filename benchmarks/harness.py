@@ -17,7 +17,7 @@ from __future__ import annotations
 import os
 import time
 from contextlib import contextmanager
-from typing import Callable, Iterable, List, Sequence
+from typing import Iterable, List, Sequence
 
 __all__ = ["SCALE", "is_full", "cloud_indices", "fattree_pods",
            "print_table", "timed"]

@@ -1,0 +1,130 @@
+"""Fast static-analysis smoke check for `make check` / CI (< 30 s).
+
+Takes the 20-router fat-tree (4 pods), seeds one provably dead clause
+into each core's BACKBONE_IN import map, then:
+
+* runs the full rule catalog (SMT rules included) and checks the
+  shadow prover finds exactly the seeded clauses;
+* verifies a reachability property with and without
+  ``prune_dead_clauses`` and asserts the verdict is identical while
+  the encoded formula shrinks.
+
+The 20-router query uses a violated (SAT) instance so the check stays
+fast; a seeded 2-pod tree re-checks verdict equality on a holding
+(UNSAT) instance, covering both flip directions.  The slow exhaustive
+verdict-preservation matrix lives in ``tests/analysis/test_pruning.py``.
+
+Prints the rules run, the diagnostics, and the variable/clause deltas.
+Exits non-zero on any mismatch.
+"""
+
+import sys
+import time
+from dataclasses import replace
+
+from repro.analysis import analyze_network
+from repro.analysis.pruning import prune_network
+from repro.core import properties as P
+from repro.core.encoder import EncoderOptions
+from repro.core.verifier import Verifier
+from repro.gen import build_fattree
+from repro.net.policy import RouteMapClause
+
+DEAD_SEQ = 20
+
+
+def seed_dead_clauses(network, cores):
+    """Append a shadowed clause to each core's import map: same match
+    as the reachable seq-10 clause, so it is provably unreachable, and
+    the only ``set local-preference`` in the network, so pruning it
+    lets field slicing shrink the formula."""
+    for core in cores:
+        dev = network.device(core)
+        rmap = dev.route_maps["BACKBONE_IN"]
+        dead = RouteMapClause(seq=DEAD_SEQ, action="permit",
+                              match_prefix_list="BLOCK_INTERNAL",
+                              set_local_pref=50)
+        dev.route_maps["BACKBONE_IN"] = replace(
+            rmap, clauses=rmap.clauses + (dead,))
+
+
+def verify_both(network, prop):
+    results = {}
+    for prune in (False, True):
+        options = EncoderOptions(prune_dead_clauses=prune)
+        results[prune] = Verifier(network, options=options).verify(prop)
+    return results[False], results[True]
+
+
+def main() -> int:
+    start = time.perf_counter()
+    tree = build_fattree(4)
+    network = tree.network
+    seed_dead_clauses(network, tree.cores)
+
+    report = analyze_network(network, smt=True)
+    print(f"rules run: {len(report.rules_run)} "
+          f"({', '.join(sorted(report.rules_run))})")
+    for diag in report.sorted():
+        print(f"  {diag}")
+    shadowed = report.by_rule("SMT001")
+    if len(shadowed) != len(tree.cores):
+        print(f"expected {len(tree.cores)} shadowed clauses, "
+              f"found {len(shadowed)}", file=sys.stderr)
+        return 1
+    if any(f"seq {DEAD_SEQ}" not in d.message for d in shadowed):
+        print("shadow prover flagged the wrong clause", file=sys.stderr)
+        return 1
+    others = [d for d in report.diagnostics if d.rule_id != "SMT001"]
+    if others:
+        print(f"unexpected findings: {others}", file=sys.stderr)
+        return 1
+
+    _, prune_report = prune_network(network)
+    print(f"pruned {prune_report.count} clauses "
+          f"across {prune_report.maps_examined} maps")
+    if prune_report.count != len(tree.cores):
+        print("pruning disagrees with the shadow prover", file=sys.stderr)
+        return 1
+
+    # Violated instance on the 20-router tree: the destination prefix
+    # is owned by no rack, so reachability fails — quickly — and the
+    # formula sizes are representative of the full network.
+    base, pruned = verify_both(
+        network, P.Reachability(sources="all",
+                                dest_prefix_text="10.0.8.0/24"))
+    print(f"fat-tree(4) verdict: holds={base.holds} "
+          f"(pruned: holds={pruned.holds})")
+    print(f"variables: {base.num_variables} -> {pruned.num_variables} "
+          f"({base.num_variables - pruned.num_variables} fewer)")
+    print(f"clauses:   {base.num_clauses} -> {pruned.num_clauses} "
+          f"({base.num_clauses - pruned.num_clauses} fewer)")
+    if base.holds is not pruned.holds or base.holds is not False:
+        print("verdict mismatch on the violated instance",
+              file=sys.stderr)
+        return 1
+    if not (pruned.num_variables < base.num_variables
+            and pruned.num_clauses < base.num_clauses):
+        print("pruning did not shrink the formula", file=sys.stderr)
+        return 1
+
+    # Holding instance on a seeded 2-pod tree: the UNSAT direction.
+    small = build_fattree(2)
+    seed_dead_clauses(small.network, small.cores)
+    base, pruned = verify_both(
+        small.network,
+        P.Reachability(sources="all",
+                       dest_prefix_text=small.tor_subnet(small.tors[0])))
+    print(f"fat-tree(2) verdict: holds={base.holds} "
+          f"(pruned: holds={pruned.holds})")
+    if base.holds is not pruned.holds or base.holds is not True:
+        print("verdict mismatch on the holding instance",
+              file=sys.stderr)
+        return 1
+
+    print(f"analysis smoke OK ({time.perf_counter() - start:.1f} s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,7 +6,6 @@ Figure 7 series (over a small sub-sample unless REPRO_SCALE=full),
 the Figure 8 sweep, and the §8.3 ablation.
 """
 
-import os
 import sys
 from pathlib import Path
 

@@ -19,7 +19,6 @@ from repro import Verifier
 from repro.core import properties as P
 from repro.core.concrete import counterexample_environment
 from repro.gen import build_cloud_network
-from repro.net import ip as iplib
 from repro.sim import DataPlane, Packet, simulate
 
 

@@ -1,0 +1,122 @@
+"""Diagnostic objects shared by every analysis rule.
+
+A :class:`Diagnostic` is one finding: a stable rule id, a severity, a
+human-readable message, and (when the config came from a file) a
+``file:line`` span.  A :class:`Report` aggregates the findings from one
+analysis run and knows how to turn them into a process exit code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Dict, Iterable, List, Optional
+
+__all__ = [
+    "Severity",
+    "Diagnostic",
+    "Report",
+    "AnalysisError",
+    "ConfigAnalysisWarning",
+]
+
+
+class Severity(IntEnum):
+    """Ordered so ``max()`` over findings yields the worst one."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:  # "error", not "Severity.ERROR"
+        return self.name.lower()
+
+
+class AnalysisError(RuntimeError):
+    """Raised by strict preflight when analysis finds errors.
+
+    Carries the offending :class:`Report` as ``report``.
+    """
+
+    def __init__(self, report: "Report") -> None:
+        errors = [d for d in report.diagnostics
+                  if d.severity is Severity.ERROR]
+        summary = "; ".join(str(d) for d in errors[:5])
+        if len(errors) > 5:
+            summary += f"; ... ({len(errors) - 5} more)"
+        super().__init__(
+            f"configuration analysis found {len(errors)} error(s): {summary}")
+        self.report = report
+
+
+class ConfigAnalysisWarning(UserWarning):
+    """Emitted by non-strict preflight when analysis finds problems."""
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analysis finding."""
+
+    rule_id: str
+    severity: Severity
+    message: str
+    device: str = ""                  # hostname, "" for network-level
+    file: str = ""                    # source file, "" if unknown
+    line: Optional[int] = None        # 1-based line in ``file``
+
+    @property
+    def span(self) -> str:
+        """``file:line`` (best effort) for text output."""
+        where = self.file or self.device or "<network>"
+        return f"{where}:{self.line}" if self.line is not None else where
+
+    def __str__(self) -> str:
+        prefix = f"{self.span}: {self.severity}: {self.rule_id}: "
+        return prefix + self.message
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule_id": self.rule_id,
+            "severity": str(self.severity),
+            "message": self.message,
+            "device": self.device,
+            "file": self.file,
+            "line": self.line,
+        }
+
+
+@dataclass
+class Report:
+    """All findings from one analysis run."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    rules_run: List[str] = field(default_factory=list)
+
+    def extend(self, found: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(found)
+
+    def by_rule(self, rule_id: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.rule_id == rule_id]
+
+    def count(self, severity: Severity) -> int:
+        return sum(1 for d in self.diagnostics if d.severity == severity)
+
+    @property
+    def max_severity(self) -> Optional[Severity]:
+        if not self.diagnostics:
+            return None
+        return max(d.severity for d in self.diagnostics)
+
+    @property
+    def exit_code(self) -> int:
+        """0 = clean/info only, 1 = warnings, 2 = errors."""
+        worst = self.max_severity
+        if worst is None or worst is Severity.INFO:
+            return 0
+        return 1 if worst is Severity.WARNING else 2
+
+    def sorted(self) -> List[Diagnostic]:
+        """Stable presentation order: file, line, rule id."""
+        return sorted(
+            self.diagnostics,
+            key=lambda d: (d.file or d.device, d.line or 0, d.rule_id))

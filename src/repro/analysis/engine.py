@@ -1,0 +1,108 @@
+"""Analysis driver: run the rule catalog over configs or a network."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.lang.parser import ConfigSyntaxError, parse_config
+from repro.net.device import DeviceConfig
+from repro.net.topology import Network
+
+from .diagnostics import Diagnostic, Report
+from .registry import Finding, ParsedConfig, Rule, rules_for_scope
+
+__all__ = ["analyze_network", "analyze_configs", "analyze_device"]
+
+
+def _to_diagnostic(rule: Rule, finding: Finding,
+                   files: Dict[str, str]) -> Diagnostic:
+    return Diagnostic(
+        rule_id=rule.id,
+        severity=finding.severity or rule.severity,
+        message=finding.message,
+        device=finding.device,
+        file=finding.file or files.get(finding.device, ""),
+        line=finding.line)
+
+
+def _run(rules: List[Rule], report: Report, files: Dict[str, str],
+         *args) -> None:
+    for rule in rules:
+        report.rules_run.append(rule.id)
+        report.extend(_to_diagnostic(rule, f, files)
+                      for f in rule.check(*args))
+
+
+def _source_files(devices: List[DeviceConfig]) -> Dict[str, str]:
+    return {dev.hostname: dev.source_file
+            for dev in devices if dev.source_file}
+
+
+def analyze_device(device: DeviceConfig) -> Report:
+    """Run the per-device rules against one config."""
+    report = Report()
+    files = _source_files([device])
+    for rule in rules_for_scope("device"):
+        report.rules_run.append(rule.id)
+        report.extend(_to_diagnostic(rule, f, files)
+                      for f in rule.check(device))
+    return report
+
+
+def analyze_network(network: Network, smt: bool = True) -> Report:
+    """Run device, network and (optionally) SMT rules over a network."""
+    report = Report()
+    devices = [network.device(n) for n in network.router_names()]
+    files = _source_files(devices)
+    for rule in rules_for_scope("device"):
+        report.rules_run.append(rule.id)
+        for device in devices:
+            report.extend(_to_diagnostic(rule, f, files)
+                          for f in rule.check(device))
+    _run(rules_for_scope("network"), report, files, network)
+    if smt:
+        from .hazards import collect_dangling
+
+        # Guard construction inside the SMT rules touches any dangling
+        # references; REF002/REF003 above already reported those, so
+        # swallow the runtime hazard signals here.
+        with collect_dangling():
+            _run(rules_for_scope("smt"), report, files, network)
+    return report
+
+
+def analyze_configs(texts: Dict[str, str],
+                    smt: bool = True) -> Report:
+    """Analyze raw config texts (file name → contents).
+
+    Runs the pre-topology rules (syntax errors, duplicate hostnames)
+    first, then — on whatever parsed cleanly, deduplicated by hostname
+    so the topology can be built — the full network analysis.
+    """
+    parsed: List[ParsedConfig] = []
+    for filename in sorted(texts):
+        try:
+            config = parse_config(texts[filename], source=filename)
+        except ConfigSyntaxError as exc:
+            parsed.append(ParsedConfig(filename=filename, error=exc,
+                                       error_line=exc.lineno))
+        except Exception as exc:   # defensive: still a SYN001
+            parsed.append(ParsedConfig(filename=filename, error=exc))
+        else:
+            parsed.append(ParsedConfig(filename=filename, config=config))
+
+    report = Report()
+    _run(rules_for_scope("configs"), report, {}, parsed)
+
+    # Build the network from the surviving configs: first file wins on a
+    # hostname collision (TOP005 reported the loser above).
+    devices: Dict[str, DeviceConfig] = {}
+    for entry in parsed:
+        if entry.config is not None:
+            devices.setdefault(entry.config.hostname, entry.config)
+    if devices:
+        network = Network(devices.values())
+        sub = analyze_network(network, smt=smt)
+        report.diagnostics.extend(sub.diagnostics)
+        report.rules_run.extend(sub.rules_run)
+    return report

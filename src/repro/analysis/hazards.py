@@ -1,0 +1,112 @@
+"""Runtime hazard reporting for silent-fallback code paths.
+
+The encoder and simulator both agree that a route-map clause referencing
+an *undefined* prefix-list or community-list never matches (the encoder
+compiles the guard to FALSE, the simulator returns no-match).  Keeping
+that semantics while making the hazard visible is this module's job:
+
+* by default each dangling reference issues a Python warning
+  (:class:`DanglingReferenceWarning`) once per (device, kind, name);
+* under :func:`collect_dangling` the events are captured in a list
+  instead, for the static analyzer to turn into diagnostics;
+* under :func:`strict_references` the first event raises
+  :class:`DanglingReferenceError`.
+
+Only the standard library is used here — ``repro.net.policy`` imports
+this module from a hot path and must not pull in the analysis rules.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import warnings
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+__all__ = [
+    "DanglingReference",
+    "DanglingReferenceWarning",
+    "DanglingReferenceError",
+    "dangling_reference",
+    "collect_dangling",
+    "strict_references",
+]
+
+
+@dataclass(frozen=True)
+class DanglingReference:
+    """A reference to a policy object that does not exist on the device."""
+
+    device: str
+    kind: str                       # "prefix-list" | "community-list" | ...
+    name: str                       # the undefined object's name
+    context: str = ""               # e.g. "route-map clause seq 10"
+    line: Optional[int] = None
+
+    def __str__(self) -> str:
+        where = f" ({self.context})" if self.context else ""
+        dev = self.device or "<device>"
+        return f"{dev}: undefined {self.kind} {self.name!r}{where}"
+
+
+class DanglingReferenceWarning(UserWarning):
+    """Default-mode signal for a dangling policy reference."""
+
+
+class DanglingReferenceError(RuntimeError):
+    """Strict-mode signal for a dangling policy reference."""
+
+    def __init__(self, ref: DanglingReference) -> None:
+        super().__init__(str(ref))
+        self.reference = ref
+
+
+# Mode switches.  contextvars so threaded / re-entrant use stays correct.
+_collector: contextvars.ContextVar[Optional[List[DanglingReference]]] = \
+    contextvars.ContextVar("dangling_collector", default=None)
+_strict: contextvars.ContextVar[bool] = \
+    contextvars.ContextVar("dangling_strict", default=False)
+
+# Warn-once memory for default mode (unbounded growth is fine: the key
+# space is the set of distinct misconfigurations, which is tiny).
+_warned: set = set()
+
+
+def dangling_reference(device: str, kind: str, name: str,
+                       context: str = "",
+                       line: Optional[int] = None) -> None:
+    """Report one dangling reference through the active mode."""
+    ref = DanglingReference(device=device, kind=kind, name=name,
+                            context=context, line=line)
+    if _strict.get():
+        raise DanglingReferenceError(ref)
+    sink = _collector.get()
+    if sink is not None:
+        sink.append(ref)
+        return
+    key = (device, kind, name)
+    if key not in _warned:
+        _warned.add(key)
+        warnings.warn(str(ref), DanglingReferenceWarning, stacklevel=3)
+
+
+@contextlib.contextmanager
+def collect_dangling() -> Iterator[List[DanglingReference]]:
+    """Capture dangling-reference events instead of warning."""
+    sink: List[DanglingReference] = []
+    token = _collector.set(sink)
+    try:
+        yield sink
+    finally:
+        _collector.reset(token)
+
+
+@contextlib.contextmanager
+def strict_references() -> Iterator[None]:
+    """Raise :class:`DanglingReferenceError` on any dangling reference."""
+    token = _strict.set(True)
+    try:
+        yield
+    finally:
+        _strict.reset(token)

@@ -1,0 +1,105 @@
+"""Dead-clause pruning: shrink the encoding with analysis proofs.
+
+A route-map clause proven unreachable (see
+:func:`repro.analysis.smt_rules.dead_clause_indices`) contributes a
+guard term and a transformed-record branch to every ``ite`` chain the
+map appears in, yet can never affect the chain's value.  Dropping it
+before encoding is therefore verdict-preserving by construction — the
+pruned map denotes the same function — while removing real variables
+and clauses from the bit-blasted formula.
+
+Only route-map clauses are pruned.  Prefix-list entries and ACL rules
+fold into pure terms (no fresh variables), so pruning them buys little
+and is left to the diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from repro.net.device import DeviceConfig
+from repro.net.policy import RouteMap
+from repro.net.topology import Network
+
+__all__ = ["PrunedClause", "PruneReport", "prune_network"]
+
+
+@dataclass(frozen=True)
+class PrunedClause:
+    """One clause removed from the encoding."""
+
+    device: str
+    route_map: str
+    seq: int
+    line: Optional[int] = None
+
+    def __str__(self) -> str:
+        return (f"{self.device}: route-map {self.route_map!r} "
+                f"seq {self.seq}")
+
+
+@dataclass
+class PruneReport:
+    """What pruning removed."""
+
+    pruned: List[PrunedClause] = field(default_factory=list)
+    maps_examined: int = 0
+
+    @property
+    def count(self) -> int:
+        return len(self.pruned)
+
+
+def prune_network(network: Network) -> "tuple[Network, PruneReport]":
+    """A copy of ``network`` with provably dead route-map clauses removed.
+
+    Every removed clause is recorded in the returned
+    :class:`PruneReport`.  Devices without dead clauses are shared, not
+    copied.
+    """
+    from .hazards import collect_dangling
+    from .smt_rules import dead_clause_indices
+
+    report = PruneReport()
+    with collect_dangling():
+        # Guard construction touches dangling references; those are the
+        # lint rules' job (REF002/REF003), not warnings to repeat here.
+        return _prune(network, report, dead_clause_indices)
+
+
+def _prune(network: Network, report: PruneReport,
+           dead_clause_indices) -> "tuple[Network, PruneReport]":
+    devices: List[DeviceConfig] = []
+    for name in network.router_names():
+        dev = network.device(name)
+        new_maps: Dict[str, RouteMap] = {}
+        changed = False
+        for map_name, rmap in dev.route_maps.items():
+            report.maps_examined += 1
+            dead = dead_clause_indices(dev, rmap)
+            if not dead:
+                new_maps[map_name] = rmap
+                continue
+            changed = True
+            ordered = sorted(rmap.clauses, key=lambda c: c.seq)
+            kept = tuple(c for i, c in enumerate(ordered)
+                         if i not in dead)
+            for i in dead:
+                report.pruned.append(PrunedClause(
+                    device=name, route_map=map_name,
+                    seq=ordered[i].seq, line=ordered[i].line))
+            new_maps[map_name] = replace(rmap, clauses=kept)
+        if changed:
+            devices.append(replace_route_maps(dev, new_maps))
+        else:
+            devices.append(dev)
+    if not report.pruned:
+        return network, report
+    return Network(devices), report
+
+
+def replace_route_maps(dev: DeviceConfig,
+                       new_maps: Dict[str, RouteMap]) -> DeviceConfig:
+    """A shallow device copy with its route-map table swapped out."""
+    return replace(dev, route_maps=new_maps)

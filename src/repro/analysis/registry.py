@@ -1,0 +1,98 @@
+"""Rule registry: stable ids, severities, and scopes for analysis rules.
+
+Rules register themselves with the :func:`rule` decorator.  Each rule is
+a generator of :class:`Finding` objects; the engine turns findings into
+:class:`~repro.analysis.diagnostics.Diagnostic` rows, filling in the
+source file from the device the finding names.
+
+Scopes determine what a rule sees:
+
+* ``device``   — called once per :class:`~repro.net.device.DeviceConfig`;
+* ``network``  — called once with the whole :class:`~repro.net.topology.
+  Network` (cross-device checks);
+* ``configs``  — called with the raw name→text mapping before parsing
+  (syntax errors, duplicate hostnames);
+* ``smt``      — like ``network`` but solver-backed; skipped when the
+  caller asks for syntactic analysis only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+from .diagnostics import Severity
+
+__all__ = ["Finding", "ParsedConfig", "Rule", "rule", "all_rules",
+           "rules_for_scope"]
+
+_SCOPES = ("device", "network", "configs", "smt")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """What a rule yields; the engine adds rule id / severity / file."""
+
+    message: str
+    device: str = ""
+    line: Optional[int] = None
+    severity: Optional[Severity] = None   # override the rule's default
+    file: str = ""                        # override the engine's lookup
+
+
+@dataclass(frozen=True)
+class ParsedConfig:
+    """One config file's parse outcome, as seen by ``configs``-scope rules."""
+
+    filename: str
+    config: Optional[object] = None       # DeviceConfig on success
+    error: Optional[Exception] = None     # ConfigSyntaxError etc. on failure
+    error_line: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered analysis rule."""
+
+    id: str
+    title: str
+    severity: Severity
+    scope: str
+    check: Callable[..., Iterable[Finding]]
+    description: str = field(default="", compare=False)
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def rule(id: str, title: str, severity: Severity,
+         scope: str) -> Callable[[Callable], Callable]:
+    """Register ``check`` as an analysis rule.  Ids must be unique."""
+    if scope not in _SCOPES:
+        raise ValueError(f"unknown rule scope {scope!r}")
+
+    def register(check: Callable[..., Iterable[Finding]]) -> Callable:
+        if id in _REGISTRY:
+            raise ValueError(f"duplicate rule id {id!r}")
+        _REGISTRY[id] = Rule(id=id, title=title, severity=severity,
+                             scope=scope, check=check,
+                             description=(check.__doc__ or "").strip())
+        return check
+
+    return register
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, sorted by id."""
+    _load()
+    return sorted(_REGISTRY.values(), key=lambda r: r.id)
+
+
+def rules_for_scope(scope: str) -> List[Rule]:
+    _load()
+    return [r for r in all_rules() if r.scope == scope]
+
+
+def _load() -> None:
+    """Import the rule modules (registration happens at import time)."""
+    from . import rules, smt_rules  # noqa: F401

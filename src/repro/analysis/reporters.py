@@ -1,0 +1,38 @@
+"""Render analysis reports as text or JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from .diagnostics import Report, Severity
+
+__all__ = ["format_text", "to_json"]
+
+
+def format_text(report: Report) -> str:
+    """One diagnostic per line plus a summary, compiler style."""
+    lines = [str(d) for d in report.sorted()]
+    counts = {sev: report.count(sev) for sev in Severity}
+    total = len(report.diagnostics)
+    if total == 0:
+        summary = (f"analysis clean "
+                   f"({len(set(report.rules_run))} rules)")
+    else:
+        parts = [f"{counts[sev]} {sev}{'s' if counts[sev] != 1 else ''}"
+                 for sev in (Severity.ERROR, Severity.WARNING,
+                             Severity.INFO) if counts[sev]]
+        summary = f"{total} finding{'s' if total != 1 else ''}: " \
+            + ", ".join(parts)
+    return "\n".join(lines + [summary])
+
+
+def to_json(report: Report) -> str:
+    """Machine-readable report (stable key order)."""
+    payload: Dict[str, object] = {
+        "rules_run": sorted(set(report.rules_run)),
+        "diagnostics": [d.to_dict() for d in report.sorted()],
+        "counts": {str(sev): report.count(sev) for sev in Severity},
+        "exit_code": report.exit_code,
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)

@@ -1,0 +1,264 @@
+"""SMT-backed semantic checks: shadowed rules and degenerate maps.
+
+A clause / prefix-list entry / ACL rule is *shadowed* when its guard is
+unsatisfiable given that every earlier rule in the same object failed to
+match — no input can ever reach it.  The checks reuse the verifier's own
+symbolic policy evaluation (:mod:`repro.core.policy_smt`) over a free
+route record / packet, so "dead" here means dead under exactly the
+semantics the encoder uses (§6.1 hoisted prefix tests).
+
+These proofs are per-object and tiny (tens of variables), so running
+them over a whole network costs milliseconds, not the minutes a full
+verification would.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.core.policy_smt import (
+    PacketVars,
+    _acl_rule_term,
+    _clause_match_term,
+)
+from repro.core.records import FieldSet, RecordFactory, Widths
+from repro.net.device import DeviceConfig
+from repro.net.policy import (
+    DENY,
+    PERMIT,
+    PrefixList,
+    RouteMap,
+    RouteMapClause,
+)
+from repro.net.topology import Network
+from repro.smt import (
+    Solver,
+    Term,
+    UNSAT,
+    and_,
+    bv_val,
+    bv_var,
+    not_,
+    ule,
+)
+
+from .diagnostics import Severity
+from .registry import Finding, rule
+
+__all__ = ["clause_guards", "dead_clause_indices"]
+
+
+def _factory_for(device: DeviceConfig) -> RecordFactory:
+    """A record factory whose community bits cover the device's lists."""
+    comms = sorted({c for clist in device.community_lists.values()
+                    for c in clist.communities})
+    return RecordFactory(Widths(), FieldSet(communities=tuple(comms)))
+
+
+def _free_route(device: DeviceConfig, tag: str):
+    """A fully free symbolic route: record, dstIp, well-formedness."""
+    factory = _factory_for(device)
+    record = factory.fresh(f"{tag}.r")
+    dst_ip = bv_var(f"{tag}.dstIp", 32)
+    wf = ule(record.prefix_len,
+             bv_val(32, factory.widths.prefix_len))
+    return record, dst_ip, wf
+
+
+def _has_dangling_refs(clause: RouteMapClause,
+                       device: DeviceConfig) -> bool:
+    if clause.match_prefix_list is not None \
+            and clause.match_prefix_list not in device.prefix_lists:
+        return True
+    if clause.match_community_list is not None \
+            and clause.match_community_list not in device.community_lists:
+        return True
+    return False
+
+
+def clause_guards(device: DeviceConfig, rmap: RouteMap,
+                  tag: str = "shadow") -> Tuple[List[Term], Term,
+                                                List[RouteMapClause]]:
+    """Per-clause match terms over one shared free route.
+
+    Returns (guards, well-formedness term, clauses in seq order).
+    """
+    record, dst_ip, wf = _free_route(device, tag)
+    clauses = sorted(rmap.clauses, key=lambda c: c.seq)
+    guards = [_clause_match_term(c, device, record, dst_ip, hoisted=True)
+              for c in clauses]
+    return guards, wf, clauses
+
+
+def dead_clause_indices(device: DeviceConfig,
+                        rmap: RouteMap) -> List[int]:
+    """Indices (into seq-sorted clauses) of provably shadowed clauses.
+
+    Clauses with dangling references are skipped: their guard is FALSE
+    by construction and REF002/REF003 already report the real problem.
+    """
+    guards, wf, clauses = clause_guards(device, rmap)
+    dead = []
+    for i, clause in enumerate(clauses):
+        if _has_dangling_refs(clause, device):
+            continue
+        if _unreachable(guards, i, wf):
+            dead.append(i)
+    return dead
+
+
+def _unreachable(guards: List[Term], index: int, wf: Term) -> bool:
+    """Is ``guards[index] and not any(earlier guard)`` unsatisfiable?"""
+    solver = Solver()
+    solver.add(wf, guards[index],
+               *[not_(g) for g in guards[:index]])
+    return solver.check() is UNSAT
+
+
+def _fallthrough_unsat(guards: List[Term], wf: Term) -> bool:
+    """Can no route fall past every clause (implicit deny unreachable)?"""
+    solver = Solver()
+    solver.add(wf, *[not_(g) for g in guards])
+    return solver.check() is UNSAT
+
+
+# ----------------------------------------------------------------------
+# Rules
+# ----------------------------------------------------------------------
+
+@rule("SMT001", "shadowed route-map clause", Severity.WARNING, "smt")
+def shadowed_route_map_clause(network: Network) -> Iterator[Finding]:
+    """A route-map clause can never match: every route it would accept
+    is consumed by an earlier clause.  Proven with the encoder's own
+    symbolic semantics; edits to the clause change nothing.
+    """
+    for name in network.router_names():
+        device = network.device(name)
+        for rmap in device.route_maps.values():
+            guards, wf, clauses = clause_guards(device, rmap)
+            for i in dead_clause_indices(device, rmap):
+                clause = clauses[i]
+                yield Finding(
+                    message=(f"route-map {rmap.name!r} seq {clause.seq} "
+                             "is shadowed by earlier clauses "
+                             "(proven unreachable)"),
+                    device=name, line=clause.line)
+
+
+@rule("SMT002", "shadowed prefix-list entry", Severity.WARNING, "smt")
+def shadowed_prefix_list_entry(network: Network) -> Iterator[Finding]:
+    """A prefix-list entry can never fire: the prefixes it covers are
+    all matched by earlier entries.
+    """
+    for name in network.router_names():
+        device = network.device(name)
+        for plist in device.prefix_lists.values():
+            for i, entry in _dead_plist_entries(device, plist):
+                yield Finding(
+                    message=(f"prefix-list {plist.name!r} entry "
+                             f"{i + 1} ({entry.action} "
+                             f"{_entry_text(entry)}) is shadowed by "
+                             "earlier entries (proven unreachable)"),
+                    device=name, line=entry.line)
+
+
+def _entry_text(entry) -> str:
+    from repro.net import ip as iplib
+    text = iplib.format_prefix(entry.network, entry.length)
+    if entry.ge is not None:
+        text += f" ge {entry.ge}"
+    if entry.le is not None:
+        text += f" le {entry.le}"
+    return text
+
+
+def _dead_plist_entries(device: DeviceConfig, plist: PrefixList):
+    from repro.core.policy_smt import fbm_const
+
+    record, dst_ip, wf = _free_route(device, "plshadow")
+    width = record.prefix_len.width
+    guards: List[Term] = []
+    for entry in plist.entries:
+        low, high = entry.bounds()
+        in_window = and_(ule(bv_val(low, width), record.prefix_len),
+                         ule(record.prefix_len, bv_val(high, width)))
+        bits_ok = fbm_const(dst_ip, entry.network, entry.length)
+        guards.append(and_(in_window, bits_ok))
+    out = []
+    for i, entry in enumerate(plist.entries):
+        if _unreachable(guards, i, wf):
+            out.append((i, entry))
+    return out
+
+
+@rule("SMT003", "shadowed ACL rule", Severity.WARNING, "smt")
+def shadowed_acl_rule(network: Network) -> Iterator[Finding]:
+    """An ACL rule can never fire: every packet it covers is decided by
+    an earlier rule.
+    """
+    for name in network.router_names():
+        device = network.device(name)
+        for acl in device.acls.values():
+            packet = PacketVars(
+                dst_ip=bv_var("aclshadow.dstIp", 32),
+                src_ip=bv_var("aclshadow.srcIp", 32),
+                protocol=bv_var("aclshadow.proto", 8),
+                dst_port=bv_var("aclshadow.dport", 16),
+                src_port=bv_var("aclshadow.sport", 16))
+            guards = [_acl_rule_term(r, packet) for r in acl.rules]
+            for i, acl_rule in enumerate(acl.rules):
+                if _unreachable(guards, i, wf=and_()):
+                    yield Finding(
+                        message=(f"ACL {acl.name!r} rule {i + 1} "
+                                 f"({acl_rule.action}) is shadowed by "
+                                 "earlier rules (proven unreachable)"),
+                        device=name, line=acl_rule.line)
+
+
+@rule("SMT004", "route-map is permit-all or deny-all", Severity.INFO,
+      "smt")
+def degenerate_route_map(network: Network) -> Iterator[Finding]:
+    """A route-map accepts everything or rejects everything.
+
+    Deny-all: no permit clause is reachable.  Permit-all: no deny
+    clause is reachable, the implicit final deny is unreachable, and no
+    reachable permit clause transforms the route.  Either way the map
+    could be replaced by a one-line policy (or dropped).
+    """
+    for name in network.router_names():
+        device = network.device(name)
+        for rmap in device.route_maps.values():
+            if not rmap.clauses:
+                continue
+            if any(_has_dangling_refs(c, device) for c in rmap.clauses):
+                continue           # REF002/REF003 own this map
+            guards, wf, clauses = clause_guards(device, rmap)
+            verdict = _degenerate_verdict(guards, wf, clauses)
+            if verdict is not None:
+                yield Finding(
+                    message=(f"route-map {rmap.name!r} is equivalent to "
+                             f"{verdict}"),
+                    device=name, line=rmap.line)
+
+
+def _degenerate_verdict(guards: List[Term], wf: Term,
+                        clauses: List[RouteMapClause]) -> Optional[str]:
+    reachable = [i for i in range(len(clauses))
+                 if not _unreachable(guards, i, wf)]
+    if all(clauses[i].action == DENY for i in reachable):
+        return "deny-all"
+    deny_reachable = any(clauses[i].action == DENY for i in reachable)
+    transforms = any(_transforms(clauses[i]) for i in reachable
+                     if clauses[i].action == PERMIT)
+    if (not deny_reachable and not transforms
+            and _fallthrough_unsat(guards, wf)):
+        return "permit-all"
+    return None
+
+
+def _transforms(clause: RouteMapClause) -> bool:
+    return (clause.set_local_pref is not None
+            or clause.set_metric is not None
+            or clause.set_med is not None
+            or bool(clause.add_communities)
+            or bool(clause.delete_communities))

@@ -3,6 +3,7 @@
 Examples::
 
     python -m repro show configs/
+    python -m repro analyze configs/ --json
     python -m repro verify configs/ reachability --sources R1 \
         --dest-prefix 10.9.0.0/24 --max-failures 1
     python -m repro verify configs/ blackholes --dest-prefix 10.0.0.0/8
@@ -18,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -38,6 +40,18 @@ def _build_parser() -> argparse.ArgumentParser:
 
     show = sub.add_parser("show", help="summarize a parsed network")
     show.add_argument("configs", help="directory of config files")
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="lint configs: dangling references, session mismatches, "
+             "SMT-proven shadowed rules (exit 0/1/2 = clean/warn/error)")
+    analyze.add_argument("configs", help="directory of config files")
+    analyze.add_argument("--json", action="store_true",
+                         help="machine-readable report on stdout")
+    analyze.add_argument("--no-smt", action="store_true",
+                         help="skip the solver-backed shadow checks")
+    analyze.add_argument("--rules", nargs="*", default=None,
+                         help="only report these rule ids")
 
     verify = sub.add_parser("verify", help="verify a property")
     verify.add_argument("configs")
@@ -173,6 +187,30 @@ def _cmd_show(args) -> int:
     return 0
 
 
+def _cmd_analyze(args) -> int:
+    from pathlib import Path
+
+    from repro.analysis import format_text, to_json
+    from repro.analysis.engine import analyze_configs
+
+    directory = Path(args.configs)
+    if not directory.is_dir():
+        raise SystemExit(f"not a directory: {directory}")
+    suffixes = (".cfg", ".conf", ".txt")
+    texts = {entry.name: entry.read_text()
+             for entry in sorted(directory.iterdir())
+             if entry.suffix.lower() in suffixes and entry.is_file()}
+    if not texts:
+        raise SystemExit(f"no config files in {directory}")
+    report = analyze_configs(texts, smt=not args.no_smt)
+    if args.rules is not None:
+        wanted = set(args.rules)
+        report.diagnostics = [d for d in report.diagnostics
+                              if d.rule_id in wanted]
+    print(to_json(report) if args.json else format_text(report))
+    return report.exit_code
+
+
 def _cmd_verify(args) -> int:
     network = load_network(args.configs)
     verifier = Verifier(network)
@@ -302,12 +340,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
         "show": _cmd_show,
+        "analyze": _cmd_analyze,
         "verify": _cmd_verify,
         "verify-batch": _cmd_verify_batch,
         "equivalence": _cmd_equivalence,
         "simulate": _cmd_simulate,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:  # e.g. output piped into `head`
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":  # pragma: no cover

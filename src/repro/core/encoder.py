@@ -88,6 +88,7 @@ class EncoderOptions:
     max_failures: int = 0            # k in the §5 fault-tolerance bound
     exact_failures: bool = False     # require exactly k instead of <= k
     fail_external: bool = True       # external peering links can also fail
+    prune_dead_clauses: bool = False  # drop SMT-proven-dead map clauses
 
 
 @dataclass
@@ -195,6 +196,11 @@ class NetworkEncoder:
                  options: Optional[EncoderOptions] = None) -> None:
         self.network = network
         self.options = options or EncoderOptions()
+        self.prune_report = None
+        if self.options.prune_dead_clauses:
+            from repro.analysis.pruning import prune_network
+
+            self.network, self.prune_report = prune_network(network)
         self.widths = Widths()
         self._analyze()
 
@@ -402,7 +408,11 @@ class NetworkEncoder:
         """§4: a copy of the IGP network with dstIp pinned to the session
         address; returns the start router's reachability in the copy."""
         stripped = _igp_only_network(self.network)
-        sub = NetworkEncoder(stripped, self.options)
+        # self.network is already pruned (and the copy has no BGP, hence
+        # no route-map applications): don't re-run the prover per copy.
+        from dataclasses import replace as _replace
+        sub_options = _replace(self.options, prune_dead_clauses=False)
+        sub = NetworkEncoder(stripped, sub_options)
         ns = f"{self._ns}copy[{start},{iplib.format_ip(dst_ip_value)}]."
         copy = sub.encode(dst_prefix=(dst_ip_value, 32), ns=ns)
         # Share failure variables with the outer encoding.
@@ -880,7 +890,9 @@ class NetworkEncoder:
         if nbr.route_map_in:
             rmap = dev.route_maps.get(nbr.route_map_in)
             if rmap is None:
-                return None  # dangling reference blocks the session
+                # Dangling reference blocks the session (deny-all import).
+                _report_dangling(dev, nbr.route_map_in, nbr, "in")
+                return None
             record = apply_route_map(enc.factory, dev, rmap, record,
                                      enc.dst_ip,
                                      self.options.hoist_prefixes,
@@ -1058,6 +1070,7 @@ class NetworkEncoder:
                     self.options.hoist_prefixes,
                     name=f"{name}.out[{peer.name}]")
                 if rmap is None:
+                    _report_dangling(dev, nbr.route_map_out, nbr, "out")
                     valid_parts.append(FALSE)
                 valid_parts.append(exported.valid)
             exported = self._apply_aggregation(enc, dev, exported)
@@ -1090,6 +1103,21 @@ class _Candidate:
     iface_name: Optional[str] = None
     session_ip: Optional[int] = None
     internal: bool = False
+
+
+def _report_dangling(dev: DeviceConfig, map_name: str, nbr: BgpNeighbor,
+                     direction: str) -> None:
+    """Signal an undefined route-map on a BGP session (the encoder
+    treats it as deny-all; strict mode refuses to encode)."""
+    from repro.analysis.hazards import dangling_reference
+
+    line = nbr.route_map_in_line if direction == "in" \
+        else nbr.route_map_out_line
+    dangling_reference(
+        device=dev.hostname, kind="route-map", name=map_name,
+        context=f"neighbor {iplib.format_ip(nbr.peer_ip)} "
+                f"route-map {direction}",
+        line=line or nbr.line)
 
 
 def _link_key(a: str, b: str) -> Tuple[str, str]:

@@ -178,16 +178,31 @@ def _clause_match_term(clause: RouteMapClause, device: DeviceConfig,
     if clause.match_prefix_list is not None:
         plist = device.prefix_lists.get(clause.match_prefix_list)
         if plist is None:
+            _dangling(device, "prefix-list", clause.match_prefix_list,
+                      clause)
             return FALSE
         parts.append(prefix_list_term(plist, record, dst_ip, hoisted))
     if clause.match_community_list is not None:
         clist = device.community_lists.get(clause.match_community_list)
         if clist is None:
+            _dangling(device, "community-list",
+                      clause.match_community_list, clause)
             return FALSE
         hit = or_(*[record.communities.get(c, FALSE)
                     for c in clist.communities])
         parts.append(hit if clist.action == PERMIT else not_(hit))
     return and_(*parts)
+
+
+def _dangling(device: DeviceConfig, kind: str, name: str,
+              clause: RouteMapClause) -> None:
+    """Report an undefined reference; the FALSE guard above stays (it
+    mirrors the simulator), but strict mode can now refuse to encode."""
+    from repro.analysis.hazards import dangling_reference
+
+    dangling_reference(
+        device=getattr(device, "hostname", ""), kind=kind, name=name,
+        context=f"route-map clause seq {clause.seq}", line=clause.line)
 
 
 def _apply_sets(factory: RecordFactory, clause: RouteMapClause,

@@ -7,8 +7,8 @@ term* P.  The verifier asserts the network constraints, the instrumentation
 and ¬P; a satisfying assignment is a stable state violating the property.
 
 Reachability-style instrumentation uses the paper's bi-implication form
-(``canReach_r ⇔ deliver_r ∨ ⋁ (datafwd ∧ canReach_n)``); its fixpoints are
-exact except in the presence of data-plane forwarding loops, which the
+(``canReach_r ⇔ deliver_r ∨ ⋁ (datafwd ∧ canReach_n)``); its fixpoints
+are exact except in the presence of data-plane forwarding loops, which the
 dedicated :class:`NoForwardingLoops` property detects exactly (a cycle of
 reach bits requires a cycle of datafwd edges).
 """

@@ -28,7 +28,6 @@ from repro.smt import (
     UNSAT,
     and_,
     iff,
-    implies,
     not_,
     or_,
 )
@@ -91,14 +90,53 @@ class VerificationResult:
 
 
 class Verifier:
-    """Verify §5 properties of a network's configurations."""
+    """Verify §5 properties of a network's configurations.
+
+    With ``preflight=True`` (the default) the syntactic lint rules run
+    over the network at construction time: errors (dangling references,
+    session mismatches, ...) are surfaced as a
+    :class:`~repro.analysis.ConfigAnalysisWarning` — or, with
+    ``strict=True``, raise :class:`~repro.analysis.AnalysisError` before
+    any formula is built, since such defects silently skew verification
+    results.  The report is kept on ``preflight_report``.
+    """
 
     def __init__(self, network: Network,
                  options: Optional[EncoderOptions] = None,
-                 conflict_budget: Optional[int] = None) -> None:
+                 conflict_budget: Optional[int] = None,
+                 preflight: bool = True,
+                 strict: bool = False) -> None:
         self.network = network
         self.options = options or EncoderOptions()
         self.conflict_budget = conflict_budget
+        self.preflight_report = None
+        if preflight or strict:
+            self.preflight_report = self._preflight(strict)
+
+    def _preflight(self, strict: bool):
+        import warnings as _warnings
+
+        from repro.analysis import (
+            AnalysisError,
+            ConfigAnalysisWarning,
+            Severity,
+        )
+        from repro.analysis.engine import analyze_network
+
+        # Syntactic rules only: the SMT-backed shadow checks are opt-in
+        # via the analyze CLI — construction must stay cheap.
+        report = analyze_network(self.network, smt=False)
+        errors = report.count(Severity.ERROR)
+        if errors and strict:
+            raise AnalysisError(report)
+        if errors or report.count(Severity.WARNING):
+            worst = report.max_severity
+            _warnings.warn(
+                f"configuration analysis found "
+                f"{len(report.diagnostics)} issue(s), worst: {worst} "
+                f"(see Verifier.preflight_report)",
+                ConfigAnalysisWarning, stacklevel=3)
+        return report
 
     # ------------------------------------------------------------------
 

@@ -100,7 +100,7 @@ def build_cloud_network(index: int) -> CloudNetwork:
         dev.enable_ospf()
         dev.ospf_network("10.0.0.0/8")
         dev.ospf_network("172.16.0.0/12")
-        mgmt = f"172.16.{index % 200}.{i + 1}"
+        mgmt = f"172.16.{index % 120}.{i + 1}"
         dev.interface("mgmt", f"{mgmt}/32", management=True)
         mgmt_prefixes.append(f"{mgmt}/32")
 
@@ -134,7 +134,7 @@ def build_cloud_network(index: int) -> CloudNetwork:
     racks = tors if tors else cores
     for i, name in enumerate(racks):
         builder.device(name).interface(
-            "rack", f"10.{index % 200}.{i}.1/24")
+            "rack", f"10.{index % 120}.{i}.1/24")
 
     # Cores run eBGP to one upstream each, redistribute both ways, and
     # (in correct networks) filter the management space inbound.
@@ -190,11 +190,11 @@ def build_cloud_network(index: int) -> CloudNetwork:
     if hole and aggs:
         blackhole_router = aggs[0]
         builder.device(blackhole_router).static_route(
-            f"10.{index % 200}.0.128/25", drop=True)
+            f"10.{index % 120}.0.128/25", drop=True)
     elif hole and len(cores) > 1:
         blackhole_router = cores[1]
         builder.device(blackhole_router).static_route(
-            f"10.{index % 200}.0.128/25", drop=True)
+            f"10.{index % 120}.0.128/25", drop=True)
     else:
         hole = False
 

@@ -48,8 +48,8 @@ class ConfigSyntaxError(ValueError):
 
 
 class _Parser:
-    def __init__(self, text: str) -> None:
-        self.config = DeviceConfig(hostname="unnamed")
+    def __init__(self, text: str, source: str = "") -> None:
+        self.config = DeviceConfig(hostname="unnamed", source_file=source)
         self.lines = text.splitlines()
         self.lineno = 0
         # Current open block: one of None, ("interface", Interface),
@@ -85,16 +85,18 @@ class _Parser:
         head = tokens[0]
         if head == "hostname":
             self.config.hostname = tokens[1]
+            self.config.hostname_line = self.lineno
         elif head == "interface":
-            iface = Interface(name=tokens[1])
+            iface = Interface(name=tokens[1], line=self.lineno)
             self.config.interfaces[iface.name] = iface
             self.block = ("interface", iface)
         elif head == "router" and tokens[1] == "ospf":
             self.config.ospf = self.config.ospf or OspfConfig(
-                process_id=int(tokens[2]))
+                process_id=int(tokens[2]), line=self.lineno)
             self.block = ("ospf",)
         elif head == "router" and tokens[1] == "bgp":
-            self.config.bgp = self.config.bgp or BgpConfig(asn=int(tokens[2]))
+            self.config.bgp = self.config.bgp or BgpConfig(
+                asn=int(tokens[2]), line=self.lineno)
             self.block = ("bgp",)
         elif head == "ip" and tokens[1] == "route":
             self._parse_static(tokens)
@@ -116,7 +118,8 @@ class _Parser:
                 raise ConfigSyntaxError(self.lineno, line,
                                         "route-map action must be permit/deny")
             self.block = ("route-map", name,
-                          {"seq": seq, "action": action})
+                          {"seq": seq, "action": action,
+                           "line": self.lineno})
         else:
             raise ConfigSyntaxError(self.lineno, line, "unknown command")
 
@@ -150,8 +153,10 @@ class _Parser:
         elif tokens[:2] == ["ip", "access-group"]:
             if tokens[3] == "in":
                 iface.acl_in = tokens[2]
+                iface.acl_in_line = self.lineno
             elif tokens[3] == "out":
                 iface.acl_out = tokens[2]
+                iface.acl_out_line = self.lineno
             else:
                 raise ConfigSyntaxError(self.lineno, line,
                                         "access-group direction")
@@ -168,6 +173,7 @@ class _Parser:
         ospf = self.config.ospf
         if tokens[0] == "router-id":
             ospf.router_id = iplib.parse_ip(tokens[1])
+            ospf.router_id_line = self.lineno
         elif tokens[0] == "maximum-paths":
             ospf.multipath = int(tokens[1]) > 1
         elif tokens[0] == "redistribute":
@@ -190,6 +196,7 @@ class _Parser:
         bgp = self.config.bgp
         if tokens[:2] == ["bgp", "router-id"]:
             bgp.router_id = iplib.parse_ip(tokens[2])
+            bgp.router_id_line = self.lineno
         elif tokens[:3] == ["bgp", "bestpath", "med"]:
             if tokens[3] not in ("always", "same-as", "ignore"):
                 raise ConfigSyntaxError(self.lineno, line, "bad med mode")
@@ -227,7 +234,8 @@ class _Parser:
         if command == "remote-as":
             if nbr is None:
                 bgp.neighbors.append(BgpNeighbor(peer_ip=peer_ip,
-                                                 remote_as=int(tokens[3])))
+                                                 remote_as=int(tokens[3]),
+                                                 line=self.lineno))
             else:
                 nbr.remote_as = int(tokens[3])
             return
@@ -237,8 +245,10 @@ class _Parser:
         if command == "route-map":
             if tokens[4] == "in":
                 nbr.route_map_in = tokens[3]
+                nbr.route_map_in_line = self.lineno
             elif tokens[4] == "out":
                 nbr.route_map_out = tokens[3]
+                nbr.route_map_out_line = self.lineno
             else:
                 raise ConfigSyntaxError(self.lineno, line,
                                         "route-map direction")
@@ -279,7 +289,8 @@ class _Parser:
         network = iplib.parse_ip(tokens[2])
         length = iplib.mask_to_length(iplib.parse_ip(tokens[3]))
         target = tokens[4]
-        route = StaticRoute(network=network, length=length)
+        route = StaticRoute(network=network, length=length,
+                            line=self.lineno)
         if target.lower() == "null0":
             route.drop = True
         elif target[0].isdigit():
@@ -312,11 +323,14 @@ class _Parser:
                                         "unknown prefix-list modifier")
             rest = rest[2:]
         entry = PrefixListEntry(action=action, network=network,
-                                length=length, ge=ge, le=le)
+                                length=length, ge=ge, le=le,
+                                line=self.lineno)
         existing = self.config.prefix_lists.get(name)
         entries = (existing.entries if existing else ()) + (entry,)
+        first_line = existing.line if existing else self.lineno
         self.config.prefix_lists[name] = PrefixList(name=name,
-                                                    entries=entries)
+                                                    entries=entries,
+                                                    line=first_line)
 
     def _parse_community_list(self, tokens: List[str], line: str) -> None:
         # ip community-list standard NAME permit|deny COMM...
@@ -325,7 +339,8 @@ class _Parser:
                                     "only standard community-lists supported")
         name, action = tokens[3], tokens[4]
         self.config.community_lists[name] = CommunityList(
-            name=name, action=action, communities=tuple(tokens[5:]))
+            name=name, action=action, communities=tuple(tokens[5:]),
+            line=self.lineno)
 
     def _parse_numbered_acl(self, tokens: List[str], line: str) -> None:
         # access-list NUM permit|deny ip DST WILDCARD   (paper's form: the
@@ -335,7 +350,9 @@ class _Parser:
         rule = self._parse_acl_rule(rule_tokens, line)
         existing = self.config.acls.get(name)
         rules = (existing.rules if existing else ()) + (rule,)
-        self.config.acls[name] = Acl(name=name, rules=rules)
+        first_line = existing.line if existing else self.lineno
+        self.config.acls[name] = Acl(name=name, rules=rules,
+                                     line=first_line)
 
     def _parse_acl_rule(self, tokens: List[str], line: str) -> AclRule:
         action = tokens[0]
@@ -380,6 +397,7 @@ class _Parser:
             protocol=protocol,
             dst_port_low=port_low,
             dst_port_high=port_high,
+            line=self.lineno,
         )
 
     def _parse_acl_address(self, rest: List[str], line: str):
@@ -405,7 +423,10 @@ class _Parser:
             _, name, rules = self.block
             existing = self.config.acls.get(name)
             merged = (existing.rules if existing else ()) + tuple(rules)
-            self.config.acls[name] = Acl(name=name, rules=merged)
+            first = rules[0].line if rules else self.lineno
+            first_line = existing.line if existing else first
+            self.config.acls[name] = Acl(name=name, rules=merged,
+                                         line=first_line)
         elif kind == "route-map":
             _, name, fields = self.block
             clause = RouteMapClause(
@@ -418,14 +439,21 @@ class _Parser:
                 set_med=fields.get("set_med"),
                 add_communities=fields.get("add_communities", ()),
                 delete_communities=fields.get("delete_communities", ()),
+                line=fields.get("line"),
             )
             existing = self.config.route_maps.get(name)
             clauses = (existing.clauses if existing else ()) + (clause,)
+            first_line = existing.line if existing else clause.line
             self.config.route_maps[name] = RouteMap(name=name,
-                                                    clauses=clauses)
+                                                    clauses=clauses,
+                                                    line=first_line)
         self.block = None
 
 
-def parse_config(text: str) -> DeviceConfig:
-    """Parse one device's configuration text."""
-    return _Parser(text).run()
+def parse_config(text: str, source: str = "") -> DeviceConfig:
+    """Parse one device's configuration text.
+
+    ``source`` (usually a file name) is recorded on the returned config so
+    diagnostics can carry ``file:line`` spans.
+    """
+    return _Parser(text, source=source).run()

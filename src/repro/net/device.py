@@ -35,6 +35,10 @@ class Interface:
     acl_out: Optional[str] = None     # filters packets leaving here
     is_management: bool = False
     shutdown: bool = False
+    # Source spans (None for programmatically built configs).
+    line: Optional[int] = None
+    acl_in_line: Optional[int] = None
+    acl_out_line: Optional[int] = None
 
     @property
     def network(self) -> int:
@@ -55,6 +59,7 @@ class StaticRoute:
     interface: Optional[str] = None
     drop: bool = False                # Null0: explicit discard
     ad: int = 1
+    line: Optional[int] = None
 
 
 @dataclass
@@ -67,6 +72,9 @@ class BgpNeighbor:
     route_map_out: Optional[str] = None
     route_reflector_client: bool = False
     description: str = ""
+    line: Optional[int] = None
+    route_map_in_line: Optional[int] = None
+    route_map_out_line: Optional[int] = None
 
 
 @dataclass
@@ -77,10 +85,12 @@ class BgpConfig:
     router_id: int = 0
     neighbors: List[BgpNeighbor] = field(default_factory=list)
     networks: List[Tuple[int, int]] = field(default_factory=list)
-    redistribute: Dict[str, int] = field(default_factory=dict)  # proto→metric
+    redistribute: Dict[str, int] = field(default_factory=dict)  # per proto
     aggregates: List[Tuple[int, int]] = field(default_factory=list)
     multipath: bool = False
     med_mode: str = "always"  # "always" | "same-as" | "ignore" (§4 MED)
+    line: Optional[int] = None
+    router_id_line: Optional[int] = None
 
     def neighbor(self, peer_ip: int) -> Optional[BgpNeighbor]:
         for nbr in self.neighbors:
@@ -99,8 +109,10 @@ class OspfConfig:
     process_id: int = 1
     router_id: int = 0
     networks: List[Tuple[int, int, int]] = field(default_factory=list)
-    redistribute: Dict[str, int] = field(default_factory=dict)  # proto→metric
+    redistribute: Dict[str, int] = field(default_factory=dict)  # per proto
     multipath: bool = False
+    line: Optional[int] = None
+    router_id_line: Optional[int] = None
 
     def covers(self, address: int) -> bool:
         """Is an interface address activated by a ``network`` statement?"""
@@ -122,6 +134,8 @@ class DeviceConfig:
     ospf: Optional[OspfConfig] = None
     static_routes: List[StaticRoute] = field(default_factory=list)
     config_lines: int = 0             # size metric used by Figure 7
+    source_file: str = ""             # where this config was parsed from
+    hostname_line: Optional[int] = None
 
     @property
     def router_id(self) -> int:

@@ -38,7 +38,7 @@ def network_from_texts(texts: Dict[str, str]) -> Network:
     devices = []
     for filename, text in texts.items():
         try:
-            devices.append(parse_config(text))
+            devices.append(parse_config(text, source=filename))
         except Exception as exc:
             raise ValueError(f"{filename}: {exc}") from exc
     return Network(devices)

@@ -47,6 +47,8 @@ class AclRule:
     protocol: Optional[int] = None
     dst_port_low: Optional[int] = None
     dst_port_high: Optional[int] = None
+    # Source span; provenance only, excluded from equality/hashing.
+    line: Optional[int] = field(default=None, compare=False, repr=False)
 
     def matches(self, dst_ip: int, src_ip: int = 0, protocol: int = 0,
                 dst_port: int = 0) -> bool:
@@ -72,6 +74,7 @@ class Acl:
 
     name: str
     rules: Tuple[AclRule, ...] = ()
+    line: Optional[int] = field(default=None, compare=False, repr=False)
 
     def permits(self, dst_ip: int, src_ip: int = 0, protocol: int = 0,
                 dst_port: int = 0) -> bool:
@@ -95,6 +98,7 @@ class PrefixListEntry:
     length: int
     ge: Optional[int] = None
     le: Optional[int] = None
+    line: Optional[int] = field(default=None, compare=False, repr=False)
 
     def bounds(self) -> Tuple[int, int]:
         low = self.ge if self.ge is not None else self.length
@@ -115,6 +119,7 @@ class PrefixList:
 
     name: str
     entries: Tuple[PrefixListEntry, ...] = ()
+    line: Optional[int] = field(default=None, compare=False, repr=False)
 
     def permits(self, network: int, length: int) -> bool:
         for entry in self.entries:
@@ -130,6 +135,7 @@ class CommunityList:
     name: str
     action: str = PERMIT
     communities: Tuple[str, ...] = ()
+    line: Optional[int] = field(default=None, compare=False, repr=False)
 
     def permits(self, carried: FrozenSet[str]) -> bool:
         hit = any(c in carried for c in self.communities)
@@ -149,6 +155,7 @@ class RouteMapClause:
     set_med: Optional[int] = None
     add_communities: Tuple[str, ...] = ()
     delete_communities: Tuple[str, ...] = ()
+    line: Optional[int] = field(default=None, compare=False, repr=False)
 
     def has_match(self) -> bool:
         return (self.match_prefix_list is not None
@@ -161,6 +168,7 @@ class RouteMap:
 
     name: str
     clauses: Tuple[RouteMapClause, ...] = ()
+    line: Optional[int] = field(default=None, compare=False, repr=False)
 
     def evaluate(self, route: Route, device) -> Optional[Route]:
         """Concrete semantics: transformed route, or None if denied.
@@ -192,10 +200,31 @@ class RouteMap:
 def _clause_matches(clause: RouteMapClause, route: Route, device) -> bool:
     if clause.match_prefix_list is not None:
         plist = device.prefix_lists.get(clause.match_prefix_list)
-        if plist is None or not plist.permits(route.network, route.length):
+        if plist is None:
+            _dangling(device, "prefix-list", clause.match_prefix_list,
+                      clause)
+            return False
+        if not plist.permits(route.network, route.length):
             return False
     if clause.match_community_list is not None:
         clist = device.community_lists.get(clause.match_community_list)
-        if clist is None or not clist.permits(route.communities):
+        if clist is None:
+            _dangling(device, "community-list",
+                      clause.match_community_list, clause)
+            return False
+        if not clist.permits(route.communities):
             return False
     return True
+
+
+def _dangling(device, kind: str, name: str, clause: RouteMapClause) -> None:
+    """Report an undefined prefix-list/community-list reference.
+
+    The agreed semantics (a dangling match never matches) are unchanged;
+    strict mode — :func:`repro.analysis.hazards.strict_references` —
+    raises instead of silently treating the clause as a no-match."""
+    from repro.analysis.hazards import dangling_reference
+
+    dangling_reference(
+        device=getattr(device, "hostname", ""), kind=kind, name=name,
+        context=f"route-map clause seq {clause.seq}", line=clause.line)

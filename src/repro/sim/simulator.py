@@ -512,7 +512,13 @@ class ControlPlaneSimulator:
             return route
         rmap = dev.route_maps.get(map_name)
         if rmap is None:
-            return None  # referencing a missing map blocks the session
+            # Referencing a missing map blocks the session (matches the
+            # encoder); strict mode raises instead of silently denying.
+            from repro.analysis.hazards import dangling_reference
+
+            dangling_reference(device=dev.hostname, kind="route-map",
+                               name=map_name, context="BGP session")
+            return None
         return rmap.evaluate(route, dev)
 
 

@@ -1,7 +1,8 @@
 """Bit-blasting: rewrite bit-vector terms into pure boolean terms.
 
-The output language contains only boolean leaves — ``boolvar``, ``true``,
-``false`` and ``bit(bvvar, i)`` atoms — combined with the boolean connectives.
+The output language contains only boolean leaves — ``boolvar``,
+``true``, ``false`` and ``bit(bvvar, i)`` atoms — combined with the
+boolean connectives.
 Hash-consing in :mod:`repro.smt.terms` keeps shared sub-circuits (carry
 chains, comparator prefixes) shared, so the subsequent Tseitin transform
 introduces one auxiliary SAT variable per distinct gate.

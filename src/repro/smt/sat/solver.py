@@ -454,7 +454,7 @@ class SatSolver:
         return learnt, back_level
 
     def _redundant(self, lit: int) -> bool:
-        """Local minimization: drop literals implied by others in the clause."""
+        """Local minimization: drop literals implied by the others."""
         reason = self._reason[lit >> 1]
         if reason is None:
             return False

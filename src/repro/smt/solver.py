@@ -155,7 +155,8 @@ class Solver:
             else:  # bit(bvvar, i)
                 name = leaf.args[0].payload
                 if val:
-                    bv_parts[name] = bv_parts.get(name, 0) | (1 << leaf.payload)
+                    bv_parts[name] = (bv_parts.get(name, 0)
+                                      | (1 << leaf.payload))
                 else:
                     bv_parts.setdefault(name, 0)
         env.update(bv_parts)

@@ -1,0 +1,190 @@
+"""The dangling-reference hazard sink.
+
+An undefined prefix-list / community-list / route-map used to make the
+policy code silently evaluate to FALSE (encoder) or no-match
+(simulator).  The semantics are kept — these tests pin them, and pin
+that encoder and simulator agree — but the event is now observable:
+warn-once by default, collectable, and fatal under strict mode.
+"""
+
+import warnings
+
+import pytest
+
+from repro.analysis.diagnostics import AnalysisError, ConfigAnalysisWarning
+from repro.analysis.hazards import (
+    DanglingReferenceError,
+    DanglingReferenceWarning,
+    collect_dangling,
+    strict_references,
+)
+from repro.analysis.smt_rules import clause_guards
+from repro.core.verifier import Verifier
+from repro.lang.parser import parse_config
+from repro.net.policy import _clause_matches
+from repro.net.route import PROTO_BGP, Route
+from repro.net.topology import Network
+from repro.smt import Solver, UNSAT, not_
+
+CFG_DANGLING_PL = """\
+hostname {host}
+interface eth0
+ ip address 10.0.0.1 255.255.255.0
+route-map IMPORT permit 10
+ match ip address prefix-list {plist}
+route-map IMPORT permit 20
+ set local-preference 200
+router bgp 65001
+ neighbor 10.0.0.9 remote-as 65002
+ neighbor 10.0.0.9 route-map IMPORT in
+"""
+
+
+def _device(host="r1", plist="GHOST"):
+    return parse_config(CFG_DANGLING_PL.format(host=host, plist=plist),
+                        source=f"{host}.cfg")
+
+
+def _route():
+    return Route(network=0x0A090100, length=24, protocol=PROTO_BGP)
+
+
+# ----------------------------------------------------------------------
+# Semantics pin: simulator and encoder agree on the dangling clause
+# ----------------------------------------------------------------------
+
+def test_simulator_clause_with_dangling_plist_never_matches():
+    device = _device("sim1", "SIMGHOST")
+    rmap = device.route_maps["IMPORT"]
+    clauses = sorted(rmap.clauses, key=lambda c: c.seq)
+    with collect_dangling():
+        assert _clause_matches(clauses[0], _route(), device) is False
+        # The route falls through to seq 20 and is permitted+transformed.
+        out = rmap.evaluate(_route(), device)
+    assert out is not None
+    assert out.local_pref == 200
+
+
+def test_encoder_clause_with_dangling_plist_is_false():
+    device = _device("enc1", "ENCGHOST")
+    rmap = device.route_maps["IMPORT"]
+    with collect_dangling():
+        guards, wf, clauses = clause_guards(device, rmap)
+    # Guard of the dangling clause is unsatisfiable (encoded FALSE) ...
+    solver = Solver()
+    solver.add(wf, guards[0])
+    assert solver.check() is UNSAT
+    # ... and the match-free seq-20 guard is valid (negation UNSAT), so
+    # both layers send every route to the same clause: exact agreement.
+    solver = Solver()
+    solver.add(wf, not_(guards[1]))
+    assert solver.check() is UNSAT
+
+
+# ----------------------------------------------------------------------
+# Observability: warn-once, collect, strict
+# ----------------------------------------------------------------------
+
+def test_dangling_reference_warns_once_per_object():
+    device = _device("warn1", "WARNGHOST")
+    rmap = device.route_maps["IMPORT"]
+    clause = sorted(rmap.clauses, key=lambda c: c.seq)[0]
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        _clause_matches(clause, _route(), device)
+        _clause_matches(clause, _route(), device)
+    ours = [w for w in caught
+            if issubclass(w.category, DanglingReferenceWarning)]
+    assert len(ours) == 1
+    assert "WARNGHOST" in str(ours[0].message)
+
+
+def test_collect_dangling_captures_instead_of_warning():
+    device = _device("col1", "COLGHOST")
+    rmap = device.route_maps["IMPORT"]
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        with collect_dangling() as seen:
+            rmap.evaluate(_route(), device)
+    assert [w for w in caught
+            if issubclass(w.category, DanglingReferenceWarning)] == []
+    (ref,) = seen
+    assert (ref.device, ref.kind, ref.name) == \
+        ("col1", "prefix-list", "COLGHOST")
+    assert "seq 10" in ref.context
+
+
+def test_strict_references_raises_in_simulator_path():
+    device = _device("str1", "STRGHOST")
+    rmap = device.route_maps["IMPORT"]
+    with strict_references():
+        with pytest.raises(DanglingReferenceError, match="STRGHOST"):
+            rmap.evaluate(_route(), device)
+
+
+def test_strict_references_raises_in_encoder_path():
+    device = _device("str2", "STRGHOST2")
+    rmap = device.route_maps["IMPORT"]
+    with strict_references():
+        with pytest.raises(DanglingReferenceError, match="STRGHOST2"):
+            clause_guards(device, rmap)
+
+
+# ----------------------------------------------------------------------
+# Verifier preflight
+# ----------------------------------------------------------------------
+
+BAD_NET = """\
+hostname r1
+interface eth0
+ ip address 10.0.12.1 255.255.255.252
+router bgp 65001
+ neighbor 10.0.12.2 remote-as 65001
+ neighbor 10.0.12.2 route-map MISSING out
+"""
+
+PEER = """\
+hostname r2
+interface eth0
+ ip address 10.0.12.2 255.255.255.252
+router bgp 65001
+ neighbor 10.0.12.1 remote-as 65001
+"""
+
+
+def _bad_network():
+    return Network([parse_config(BAD_NET, source="r1.cfg"),
+                    parse_config(PEER, source="r2.cfg")])
+
+
+def test_verifier_preflight_warns_and_records_report():
+    with pytest.warns(ConfigAnalysisWarning):
+        verifier = Verifier(_bad_network())
+    report = verifier.preflight_report
+    assert report is not None
+    assert [d.rule_id for d in report.sorted()
+            if d.severity.name == "ERROR"] == ["REF001"]
+
+
+def test_verifier_strict_raises_analysis_error():
+    with pytest.raises(AnalysisError) as exc:
+        Verifier(_bad_network(), strict=True)
+    assert exc.value.report.by_rule("REF001")
+    assert "MISSING" in str(exc.value)
+
+
+def test_verifier_preflight_opt_out_is_silent():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        verifier = Verifier(_bad_network(), preflight=False)
+    assert verifier.preflight_report is None
+
+
+def test_verifier_preflight_clean_network_is_silent():
+    devices = [parse_config(PEER.replace("10.0.12.1", "10.0.12.9"),
+                            source="r2.cfg")]
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        verifier = Verifier(Network(devices))
+    assert verifier.preflight_report is not None
+    assert verifier.preflight_report.diagnostics == []

@@ -1,0 +1,120 @@
+"""Encoder pruning of SMT-proven-dead route-map clauses.
+
+Soundness bar: pruning must never change a verification verdict (the
+dead clause provably matches nothing, so dropping it preserves the ite
+chain's function) while measurably shrinking the encoded formula.
+"""
+
+import pytest
+
+from repro.analysis.pruning import prune_network
+from repro.core import properties as P
+from repro.core.encoder import EncoderOptions, NetworkEncoder
+from repro.core.verifier import Verifier
+from repro.net import NetworkBuilder
+from repro.net import ip as iplib
+from repro.net.policy import PrefixListEntry, RouteMapClause
+
+
+def build_network():
+    """A-B-C iBGP mesh; A imports from EXT through a map with a seeded
+    dead clause: seq 15 re-permits a subset of what seq 10 already
+    matched.  It is also the network's only ``set local-preference``,
+    so pruning it lets the §6.2 field slicer drop the attribute — the
+    formula shrinks in variables, not just clauses."""
+    builder = NetworkBuilder()
+    for name in ("A", "B", "C"):
+        dev = builder.device(name)
+        dev.enable_ospf()
+        dev.ospf_network("10.0.0.0/8")
+        dev.enable_bgp(65001)
+    builder.link("A", "B")
+    builder.link("B", "C")
+    builder.ibgp_session("A", "B")
+    builder.ibgp_session("B", "C")
+    builder.ibgp_session("A", "C")
+    dev = builder.device("A")
+    dev.prefix_list("ALLOWED", [
+        PrefixListEntry("permit", iplib.parse_ip("8.0.0.0"), 8, le=32)])
+    dev.prefix_list("ALLOWED_SUB", [
+        PrefixListEntry("permit", iplib.parse_ip("8.8.0.0"), 16, le=32)])
+    dev.route_map("IMPORT", [
+        RouteMapClause(seq=10, action="permit",
+                       match_prefix_list="ALLOWED"),
+        RouteMapClause(seq=15, action="permit",          # shadowed
+                       match_prefix_list="ALLOWED_SUB",
+                       set_local_pref=50),
+    ])
+    builder.external_peer("A", asn=65100, name="EXT",
+                          route_map_in="IMPORT")
+    return builder.build()
+
+
+QUERIES = [
+    # (destination prefix, expected verdict) — one holding, one failing,
+    # both routed through the session whose map gets pruned.
+    ("8.8.0.0/16", True),     # inside the shadowed deny: still permitted
+    ("9.0.0.0/8", False),     # outside the permit: filtered, unreachable
+]
+
+
+def _verify(network, prune, dest):
+    options = EncoderOptions(prune_dead_clauses=prune)
+    verifier = Verifier(network, options=options)
+    return verifier.verify(
+        P.Reachability(sources=["C"], dest_peer="EXT",
+                       dest_prefix_text=dest),
+        assumptions=[P.announces("EXT", min_length=8)])
+
+
+@pytest.mark.parametrize("dest,expected", QUERIES)
+def test_pruning_preserves_verdicts(dest, expected):
+    network = build_network()
+    baseline = _verify(network, prune=False, dest=dest)
+    pruned = _verify(network, prune=True, dest=dest)
+    assert baseline.holds is expected
+    assert pruned.holds is expected
+
+
+def test_pruning_shrinks_the_formula():
+    network = build_network()
+    dest = QUERIES[0][0]
+    baseline = _verify(network, prune=False, dest=dest)
+    pruned = _verify(network, prune=True, dest=dest)
+    assert pruned.num_variables < baseline.num_variables
+    assert pruned.num_clauses < baseline.num_clauses
+
+
+def test_prune_report_identifies_the_dead_clause():
+    network = build_network()
+    pruned_net, report = prune_network(network)
+    assert report.count == 1
+    (entry,) = report.pruned
+    assert (entry.device, entry.route_map, entry.seq) == ("A", "IMPORT", 15)
+    kept = [c.seq for c in pruned_net.device("A").route_maps["IMPORT"].clauses]
+    assert kept == [10]
+    # Untouched devices are shared, not copied.
+    assert pruned_net.device("B") is network.device("B")
+
+
+def test_prune_clean_network_is_identity():
+    builder = NetworkBuilder()
+    for name in ("A", "B"):
+        dev = builder.device(name)
+        dev.enable_ospf()
+        dev.ospf_network("10.0.0.0/8")
+    builder.link("A", "B")
+    network = builder.build()
+    pruned_net, report = prune_network(network)
+    assert report.count == 0
+    assert pruned_net is network
+
+
+def test_encoder_records_prune_report():
+    network = build_network()
+    options = EncoderOptions(prune_dead_clauses=True)
+    encoder = NetworkEncoder(network, options)
+    assert encoder.prune_report is not None
+    assert encoder.prune_report.count == 1
+    off = NetworkEncoder(network, EncoderOptions())
+    assert off.prune_report is None

@@ -1,0 +1,575 @@
+"""Seeded defect corpus for the syntactic lint rules.
+
+Every rule has a firing test (minimal bad config, exact rule id and
+file:line span asserted) and a non-firing near-miss (the closest clean
+config, asserted *not* to trigger the rule).
+"""
+
+import pytest
+
+from repro.analysis import Severity, analyze_configs
+from repro.analysis.registry import all_rules
+
+
+def line_of(text: str, needle: str) -> int:
+    """1-based line number of the first line containing ``needle``."""
+    for i, line in enumerate(text.splitlines(), start=1):
+        if needle in line:
+            return i
+    raise AssertionError(f"{needle!r} not in config")
+
+
+def analyze(texts, **kw):
+    kw.setdefault("smt", False)
+    return analyze_configs(texts, **kw)
+
+
+def only(report, rule_id):
+    found = report.by_rule(rule_id)
+    assert found, f"expected {rule_id} to fire; got {report.sorted()}"
+    return found
+
+
+def absent(report, rule_id):
+    found = report.by_rule(rule_id)
+    assert not found, f"{rule_id} fired unexpectedly: {found}"
+
+
+BASE = """\
+hostname r1
+interface eth0
+ ip address 10.0.0.1 255.255.255.0
+"""
+
+
+# ----------------------------------------------------------------------
+# REF001 — undefined route-map on a neighbor
+# ----------------------------------------------------------------------
+
+REF001_BAD = BASE + """\
+router bgp 65001
+ neighbor 10.0.0.9 remote-as 65002
+ neighbor 10.0.0.9 route-map NO_SUCH_MAP in
+"""
+
+REF001_OK = BASE + """\
+route-map NO_SUCH_MAP permit 10
+router bgp 65001
+ neighbor 10.0.0.9 remote-as 65002
+ neighbor 10.0.0.9 route-map NO_SUCH_MAP in
+"""
+
+
+def test_ref001_fires_with_span():
+    report = analyze({"r1.cfg": REF001_BAD})
+    (diag,) = only(report, "REF001")
+    assert diag.severity is Severity.ERROR
+    assert diag.file == "r1.cfg"
+    assert diag.line == line_of(REF001_BAD, "route-map NO_SUCH_MAP in")
+    assert "NO_SUCH_MAP" in diag.message
+    assert report.exit_code == 2
+
+
+def test_ref001_near_miss():
+    absent(analyze({"r1.cfg": REF001_OK}), "REF001")
+
+
+# ----------------------------------------------------------------------
+# REF002 — undefined prefix-list in a route-map clause
+# ----------------------------------------------------------------------
+
+REF002_BAD = BASE + """\
+route-map IMPORT permit 10
+ match ip address prefix-list NO_SUCH_PL
+router bgp 65001
+ neighbor 10.0.0.9 remote-as 65002
+ neighbor 10.0.0.9 route-map IMPORT in
+"""
+
+REF002_OK = BASE + """\
+ip prefix-list NO_SUCH_PL seq 10 permit 10.9.0.0/16 le 24
+route-map IMPORT permit 10
+ match ip address prefix-list NO_SUCH_PL
+router bgp 65001
+ neighbor 10.0.0.9 remote-as 65002
+ neighbor 10.0.0.9 route-map IMPORT in
+"""
+
+
+def test_ref002_fires_with_span():
+    report = analyze({"r1.cfg": REF002_BAD})
+    (diag,) = only(report, "REF002")
+    assert diag.severity is Severity.ERROR
+    # The span is the clause's block-open line, not the match sub-line.
+    assert diag.line == line_of(REF002_BAD, "route-map IMPORT permit 10")
+    assert diag.file == "r1.cfg"
+
+
+def test_ref002_near_miss():
+    absent(analyze({"r1.cfg": REF002_OK}), "REF002")
+
+
+# ----------------------------------------------------------------------
+# REF003 — undefined community-list in a route-map clause
+# ----------------------------------------------------------------------
+
+REF003_BAD = BASE + """\
+route-map IMPORT permit 10
+ match community NO_SUCH_CL
+router bgp 65001
+ neighbor 10.0.0.9 remote-as 65002
+ neighbor 10.0.0.9 route-map IMPORT in
+"""
+
+REF003_OK = BASE + """\
+ip community-list standard NO_SUCH_CL permit 65001:100
+route-map IMPORT permit 10
+ match community NO_SUCH_CL
+router bgp 65001
+ neighbor 10.0.0.9 remote-as 65002
+ neighbor 10.0.0.9 route-map IMPORT in
+"""
+
+
+def test_ref003_fires_with_span():
+    report = analyze({"r1.cfg": REF003_BAD})
+    (diag,) = only(report, "REF003")
+    assert diag.severity is Severity.ERROR
+    assert diag.line == line_of(REF003_BAD, "route-map IMPORT permit 10")
+
+
+def test_ref003_near_miss():
+    absent(analyze({"r1.cfg": REF003_OK}), "REF003")
+
+
+# ----------------------------------------------------------------------
+# REF004 — undefined ACL applied to an interface
+# ----------------------------------------------------------------------
+
+REF004_BAD = """\
+hostname r1
+interface eth0
+ ip address 10.0.0.1 255.255.255.0
+ ip access-group NO_SUCH_ACL in
+"""
+
+REF004_OK = """\
+hostname r1
+access-list NO_SUCH_ACL permit ip any
+interface eth0
+ ip address 10.0.0.1 255.255.255.0
+ ip access-group NO_SUCH_ACL in
+"""
+
+
+def test_ref004_fires_with_span():
+    report = analyze({"r1.cfg": REF004_BAD})
+    (diag,) = only(report, "REF004")
+    assert diag.severity is Severity.ERROR
+    assert diag.line == line_of(REF004_BAD, "ip access-group")
+    assert "eth0" in diag.message
+
+
+def test_ref004_near_miss():
+    absent(analyze({"r1.cfg": REF004_OK}), "REF004")
+
+
+# ----------------------------------------------------------------------
+# POL001 — defined but unused policy object
+# ----------------------------------------------------------------------
+
+POL001_BAD = BASE + """\
+ip prefix-list ORPHAN seq 10 permit 10.9.0.0/16
+"""
+
+POL001_OK = BASE + """\
+ip prefix-list ORPHAN seq 10 permit 10.9.0.0/16
+route-map IMPORT permit 10
+ match ip address prefix-list ORPHAN
+router bgp 65001
+ neighbor 10.0.0.9 remote-as 65002
+ neighbor 10.0.0.9 route-map IMPORT in
+"""
+
+
+def test_pol001_fires_with_span():
+    report = analyze({"r1.cfg": POL001_BAD})
+    (diag,) = only(report, "POL001")
+    assert diag.severity is Severity.WARNING
+    assert diag.line == line_of(POL001_BAD, "prefix-list ORPHAN")
+    assert "ORPHAN" in diag.message
+    assert report.exit_code == 1
+
+
+def test_pol001_near_miss():
+    absent(analyze({"r1.cfg": POL001_OK}), "POL001")
+
+
+# ----------------------------------------------------------------------
+# POL002 — duplicate route-map sequence number
+# ----------------------------------------------------------------------
+
+POL002_BAD = BASE + """\
+route-map IMPORT permit 10
+ set local-preference 110
+route-map IMPORT permit 10
+ set local-preference 120
+router bgp 65001
+ neighbor 10.0.0.9 remote-as 65002
+ neighbor 10.0.0.9 route-map IMPORT in
+"""
+
+POL002_OK = POL002_BAD.replace("route-map IMPORT permit 10\n"
+                               " set local-preference 120",
+                               "route-map IMPORT permit 20\n"
+                               " set local-preference 120")
+
+
+def test_pol002_fires_with_span():
+    report = analyze({"r1.cfg": POL002_BAD})
+    (diag,) = only(report, "POL002")
+    assert diag.severity is Severity.WARNING
+    # The second block with the repeated seq is the offender.
+    lines = [i for i, line in enumerate(POL002_BAD.splitlines(), 1)
+             if "route-map IMPORT permit 10" in line]
+    assert diag.line == lines[1]
+
+
+def test_pol002_near_miss():
+    absent(analyze({"r1.cfg": POL002_OK}), "POL002")
+
+
+# ----------------------------------------------------------------------
+# STA001 — unresolvable static route
+# ----------------------------------------------------------------------
+
+STA001_BAD_HOP = BASE + """\
+ip route 10.50.0.0 255.255.0.0 192.168.99.1
+"""
+
+STA001_BAD_IFACE = BASE + """\
+ip route 10.50.0.0 255.255.0.0 eth9
+"""
+
+STA001_OK = BASE + """\
+ip route 10.50.0.0 255.255.0.0 10.0.0.9
+ip route 10.60.0.0 255.255.0.0 Null0
+"""
+
+
+def test_sta001_fires_on_unreachable_next_hop():
+    report = analyze({"r1.cfg": STA001_BAD_HOP})
+    (diag,) = only(report, "STA001")
+    assert diag.severity is Severity.WARNING
+    assert diag.line == line_of(STA001_BAD_HOP, "ip route")
+    assert "192.168.99.1" in diag.message
+
+
+def test_sta001_fires_on_undefined_interface():
+    report = analyze({"r1.cfg": STA001_BAD_IFACE})
+    (diag,) = only(report, "STA001")
+    assert "eth9" in diag.message
+
+
+def test_sta001_near_miss_connected_hop_and_drop():
+    absent(analyze({"r1.cfg": STA001_OK}), "STA001")
+
+
+# ----------------------------------------------------------------------
+# CFG001 — missing hostname
+# ----------------------------------------------------------------------
+
+CFG001_BAD = """\
+interface eth0
+ ip address 10.0.0.1 255.255.255.0
+"""
+
+
+def test_cfg001_fires():
+    report = analyze({"r1.cfg": CFG001_BAD})
+    (diag,) = only(report, "CFG001")
+    assert diag.severity is Severity.WARNING
+    assert diag.line == 1
+
+
+def test_cfg001_near_miss():
+    absent(analyze({"r1.cfg": BASE}), "CFG001")
+
+
+# ----------------------------------------------------------------------
+# TOP001 — asymmetric BGP session
+# ----------------------------------------------------------------------
+
+TOP001_A = """\
+hostname r1
+interface eth0
+ ip address 10.0.12.1 255.255.255.252
+router bgp 65001
+ neighbor 10.0.12.2 remote-as 65001
+"""
+
+TOP001_B_SILENT = """\
+hostname r2
+interface eth0
+ ip address 10.0.12.2 255.255.255.252
+router bgp 65001
+"""
+
+TOP001_B_OK = TOP001_B_SILENT + """\
+ neighbor 10.0.12.1 remote-as 65001
+"""
+
+
+def test_top001_fires_with_span():
+    report = analyze({"r1.cfg": TOP001_A, "r2.cfg": TOP001_B_SILENT})
+    (diag,) = only(report, "TOP001")
+    assert diag.severity is Severity.WARNING
+    assert diag.device == "r1"
+    assert diag.file == "r1.cfg"
+    assert diag.line == line_of(TOP001_A, "neighbor 10.0.12.2")
+    assert "r2" in diag.message
+
+
+def test_top001_near_miss():
+    report = analyze({"r1.cfg": TOP001_A, "r2.cfg": TOP001_B_OK})
+    absent(report, "TOP001")
+
+
+def test_top001_ignores_external_peers():
+    # 10.0.12.2 unowned: the session partner is the symbolic environment.
+    absent(analyze({"r1.cfg": TOP001_A}), "TOP001")
+
+
+# ----------------------------------------------------------------------
+# TOP002 — remote-as mismatch
+# ----------------------------------------------------------------------
+
+TOP002_A = """\
+hostname r1
+interface eth0
+ ip address 10.0.12.1 255.255.255.252
+router bgp 65001
+ neighbor 10.0.12.2 remote-as 65099
+"""
+
+TOP002_B = """\
+hostname r2
+interface eth0
+ ip address 10.0.12.2 255.255.255.252
+router bgp 65002
+ neighbor 10.0.12.1 remote-as 65001
+"""
+
+
+def test_top002_fires_with_span():
+    report = analyze({"r1.cfg": TOP002_A, "r2.cfg": TOP002_B})
+    (diag,) = only(report, "TOP002")
+    assert diag.severity is Severity.ERROR
+    assert diag.device == "r1"
+    assert diag.line == line_of(TOP002_A, "remote-as 65099")
+    assert "65099" in diag.message and "65002" in diag.message
+
+
+def test_top002_near_miss():
+    fixed = TOP002_A.replace("remote-as 65099", "remote-as 65002")
+    report = analyze({"r1.cfg": fixed, "r2.cfg": TOP002_B})
+    absent(report, "TOP002")
+
+
+# ----------------------------------------------------------------------
+# TOP003 — overlapping subnets with different masks
+# ----------------------------------------------------------------------
+
+TOP003_A = """\
+hostname r1
+interface eth0
+ ip address 10.0.12.1 255.255.255.252
+"""
+
+TOP003_B_BAD = """\
+hostname r2
+interface eth0
+ ip address 10.0.12.2 255.255.255.0
+"""
+
+TOP003_B_OK = TOP003_B_BAD.replace("255.255.255.0", "255.255.255.252")
+
+
+def test_top003_fires():
+    report = analyze({"r1.cfg": TOP003_A, "r2.cfg": TOP003_B_BAD})
+    (diag,) = only(report, "TOP003")
+    assert diag.severity is Severity.WARNING
+    assert "different mask" in diag.message
+
+
+def test_top003_near_miss():
+    report = analyze({"r1.cfg": TOP003_A, "r2.cfg": TOP003_B_OK})
+    absent(report, "TOP003")
+
+
+# ----------------------------------------------------------------------
+# TOP004 — duplicate router-id
+# ----------------------------------------------------------------------
+
+TOP004_A = """\
+hostname r1
+interface eth0
+ ip address 10.0.12.1 255.255.255.252
+router ospf 1
+ router-id 9.9.9.9
+"""
+
+TOP004_B_BAD = """\
+hostname r2
+interface eth0
+ ip address 10.0.12.2 255.255.255.252
+router ospf 1
+ router-id 9.9.9.9
+"""
+
+TOP004_B_OK = TOP004_B_BAD.replace("router-id 9.9.9.9",
+                                   "router-id 8.8.8.8")
+
+
+def test_top004_fires_with_span():
+    report = analyze({"r1.cfg": TOP004_A, "r2.cfg": TOP004_B_BAD})
+    (diag,) = only(report, "TOP004")
+    assert diag.severity is Severity.ERROR
+    assert diag.device == "r2"
+    assert diag.file == "r2.cfg"
+    assert diag.line == line_of(TOP004_B_BAD, "router-id 9.9.9.9")
+
+
+def test_top004_near_miss():
+    report = analyze({"r1.cfg": TOP004_A, "r2.cfg": TOP004_B_OK})
+    absent(report, "TOP004")
+
+
+# ----------------------------------------------------------------------
+# TOP005 — duplicate hostname across files
+# ----------------------------------------------------------------------
+
+DUP_HOST = """\
+hostname r1
+interface eth0
+ ip address 10.0.0.1 255.255.255.0
+"""
+
+DUP_HOST2 = """\
+hostname r1
+interface eth0
+ ip address 10.0.99.1 255.255.255.0
+"""
+
+
+def test_top005_fires_on_second_file():
+    report = analyze({"a.cfg": DUP_HOST, "b.cfg": DUP_HOST2})
+    (diag,) = only(report, "TOP005")
+    assert diag.severity is Severity.ERROR
+    assert diag.file == "b.cfg"          # first file wins; second flagged
+    assert diag.line == 1
+    assert "a.cfg" in diag.message
+
+
+def test_top005_near_miss():
+    fixed = DUP_HOST2.replace("hostname r1", "hostname r2")
+    report = analyze({"a.cfg": DUP_HOST, "b.cfg": fixed})
+    absent(report, "TOP005")
+
+
+# ----------------------------------------------------------------------
+# TOP006 — duplicate interface address across devices
+# ----------------------------------------------------------------------
+
+TOP006_A = """\
+hostname r1
+interface eth0
+ ip address 10.0.12.1 255.255.255.252
+"""
+
+TOP006_B_BAD = """\
+hostname r2
+interface eth0
+ ip address 10.0.12.1 255.255.255.252
+"""
+
+TOP006_B_OK = TOP006_B_BAD.replace("10.0.12.1", "10.0.12.2")
+
+
+def test_top006_fires_with_span():
+    report = analyze({"r1.cfg": TOP006_A, "r2.cfg": TOP006_B_BAD})
+    (diag,) = only(report, "TOP006")
+    assert diag.severity is Severity.ERROR
+    assert diag.device == "r2"
+    assert diag.line == line_of(TOP006_B_BAD, "interface eth0")
+
+
+def test_top006_near_miss():
+    report = analyze({"r1.cfg": TOP006_A, "r2.cfg": TOP006_B_OK})
+    absent(report, "TOP006")
+
+
+# ----------------------------------------------------------------------
+# SYN001 — syntax error
+# ----------------------------------------------------------------------
+
+SYN001_BAD = """\
+hostname r1
+interface eth0
+ ip address 10.0.0.1 255.255.255.0
+ frobnicate the widget
+"""
+
+
+def test_syn001_fires_with_span():
+    report = analyze({"r1.cfg": SYN001_BAD})
+    (diag,) = only(report, "SYN001")
+    assert diag.severity is Severity.ERROR
+    assert diag.file == "r1.cfg"
+    assert diag.line == line_of(SYN001_BAD, "frobnicate")
+
+
+def test_syn001_near_miss():
+    report = analyze({"r1.cfg": BASE})
+    absent(report, "SYN001")
+
+
+# ----------------------------------------------------------------------
+# Catalog hygiene
+# ----------------------------------------------------------------------
+
+def test_every_rule_has_a_test_in_this_suite():
+    """The corpus covers the whole catalog: each syntactic rule id has a
+    firing test above; SMT rules are covered in test_smt_rules.py."""
+    syntactic = {r.id for r in all_rules() if r.scope != "smt"}
+    covered = {"REF001", "REF002", "REF003", "REF004", "POL001",
+               "POL002", "STA001", "CFG001", "TOP001", "TOP002",
+               "TOP003", "TOP004", "TOP005", "TOP006", "SYN001"}
+    assert syntactic == covered
+
+
+def test_rule_ids_are_stable_api():
+    ids = sorted(r.id for r in all_rules())
+    assert ids == ["CFG001", "POL001", "POL002",
+                   "REF001", "REF002", "REF003", "REF004",
+                   "SMT001", "SMT002", "SMT003", "SMT004",
+                   "STA001", "SYN001",
+                   "TOP001", "TOP002", "TOP003", "TOP004",
+                   "TOP005", "TOP006"]
+
+
+def test_rules_carry_docstrings_and_severities():
+    for r in all_rules():
+        assert r.description, f"{r.id} has no description"
+        assert isinstance(r.severity, Severity)
+
+
+@pytest.mark.parametrize("filename", ["r1.cfg"])
+def test_clean_example_config_is_clean(filename):
+    import pathlib
+    root = pathlib.Path(__file__).resolve().parents[2]
+    texts = {p.name: p.read_text()
+             for p in sorted((root / "examples" / "configs").glob("*.cfg"))}
+    report = analyze_configs(texts, smt=True)
+    assert report.diagnostics == [], [str(d) for d in report.sorted()]
+    assert report.exit_code == 0

@@ -1,0 +1,228 @@
+"""SMT-backed shadow detection: the acceptance bar is that a crafted
+shadowed clause is *proven* dead while its reachable sibling is left
+alone — per rule, for route-map clauses, prefix-list entries and ACL
+rules, plus the degenerate-map (permit-all / deny-all) verdicts."""
+
+from repro.analysis import Severity, analyze_configs
+from repro.analysis.smt_rules import dead_clause_indices
+from repro.lang.parser import parse_config
+
+
+def line_of(text: str, needle: str) -> int:
+    for i, line in enumerate(text.splitlines(), start=1):
+        if needle in line:
+            return i
+    raise AssertionError(f"{needle!r} not in config")
+
+
+def analyze(texts):
+    return analyze_configs(texts, smt=True)
+
+
+# ----------------------------------------------------------------------
+# SMT001 — shadowed route-map clause
+# ----------------------------------------------------------------------
+
+# seq 10 permits the /16 space that seq 20's /24 subset lives in, so
+# seq 20 is provably unreachable; seq 30 handles disjoint space and is
+# a *reachable sibling* that must NOT be flagged.
+SMT001_CFG = """\
+hostname r1
+interface eth0
+ ip address 10.0.0.1 255.255.255.0
+ip prefix-list WIDE seq 10 permit 10.9.0.0/16 le 32
+ip prefix-list NARROW seq 10 permit 10.9.1.0/24 le 32
+ip prefix-list OTHER seq 10 permit 172.16.0.0/16 le 32
+route-map IMPORT permit 10
+ match ip address prefix-list WIDE
+route-map IMPORT permit 20
+ match ip address prefix-list NARROW
+route-map IMPORT permit 30
+ match ip address prefix-list OTHER
+router bgp 65001
+ neighbor 10.0.0.9 remote-as 65002
+ neighbor 10.0.0.9 route-map IMPORT in
+"""
+
+
+def test_smt001_proves_shadowed_clause_dead():
+    report = analyze({"r1.cfg": SMT001_CFG})
+    (diag,) = report.by_rule("SMT001")
+    assert diag.severity is Severity.WARNING
+    assert "seq 20" in diag.message
+    assert diag.file == "r1.cfg"
+    assert diag.line == line_of(SMT001_CFG, "route-map IMPORT permit 20")
+
+
+def test_smt001_does_not_flag_reachable_sibling():
+    report = analyze({"r1.cfg": SMT001_CFG})
+    messages = " ".join(d.message for d in report.by_rule("SMT001"))
+    assert "seq 30" not in messages
+    assert "seq 10" not in messages
+
+
+def test_dead_clause_indices_exact():
+    device = parse_config(SMT001_CFG, source="r1.cfg")
+    rmap = device.route_maps["IMPORT"]
+    # Index into seq-sorted clauses: only the middle clause is dead.
+    assert dead_clause_indices(device, rmap) == [1]
+
+
+def test_smt001_near_miss_partial_overlap_is_reachable():
+    # Widen the second list past the first: 10.9.0.0/8-space routes
+    # outside the /16 still reach seq 20 — no proof, no finding.
+    cfg = SMT001_CFG.replace("NARROW seq 10 permit 10.9.1.0/24 le 32",
+                             "NARROW seq 10 permit 10.0.0.0/8 le 32")
+    report = analyze({"r1.cfg": cfg})
+    assert report.by_rule("SMT001") == []
+
+
+def test_smt001_skips_clauses_with_dangling_refs():
+    # A clause whose guard is FALSE only because its prefix-list is
+    # undefined belongs to REF002, not to the shadow prover.
+    cfg = SMT001_CFG.replace(
+        "ip prefix-list NARROW seq 10 permit 10.9.1.0/24 le 32\n", "")
+    report = analyze({"r1.cfg": cfg})
+    assert report.by_rule("SMT001") == []
+    assert len(report.by_rule("REF002")) == 1
+
+
+# ----------------------------------------------------------------------
+# SMT002 — shadowed prefix-list entry
+# ----------------------------------------------------------------------
+
+SMT002_CFG = """\
+hostname r1
+interface eth0
+ ip address 10.0.0.1 255.255.255.0
+ip prefix-list FILTER seq 10 deny 10.0.0.0/8 le 32
+ip prefix-list FILTER seq 20 permit 10.9.0.0/16 le 24
+ip prefix-list FILTER seq 30 permit 172.16.0.0/16 le 32
+route-map IMPORT permit 10
+ match ip address prefix-list FILTER
+router bgp 65001
+ neighbor 10.0.0.9 remote-as 65002
+ neighbor 10.0.0.9 route-map IMPORT in
+"""
+
+
+def test_smt002_proves_shadowed_entry_dead():
+    report = analyze({"r1.cfg": SMT002_CFG})
+    (diag,) = report.by_rule("SMT002")
+    assert diag.severity is Severity.WARNING
+    assert "entry 2" in diag.message          # 10.9.0.0/16 under the /8
+    assert diag.line == line_of(SMT002_CFG, "seq 20 permit 10.9.0.0/16")
+
+
+def test_smt002_does_not_flag_reachable_entries():
+    report = analyze({"r1.cfg": SMT002_CFG})
+    messages = " ".join(d.message for d in report.by_rule("SMT002"))
+    assert "entry 1" not in messages
+    assert "entry 3" not in messages
+
+
+def test_smt002_near_miss_window_escape():
+    # le 32 on the shadowed entry no longer helps (it is still inside
+    # the /8's le 32 window), but narrowing the *first* entry's window
+    # to exact-length /8 frees everything longer.
+    cfg = SMT002_CFG.replace("deny 10.0.0.0/8 le 32", "deny 10.0.0.0/8")
+    report = analyze({"r1.cfg": cfg})
+    assert report.by_rule("SMT002") == []
+
+
+# ----------------------------------------------------------------------
+# SMT003 — shadowed ACL rule
+# ----------------------------------------------------------------------
+
+SMT003_CFG = """\
+hostname r1
+access-list GUARD deny ip 10.9.0.0 0.0.255.255
+access-list GUARD permit ip 10.9.1.0 0.0.0.255
+access-list GUARD permit ip any
+interface eth0
+ ip address 10.0.0.1 255.255.255.0
+ ip access-group GUARD in
+"""
+
+
+def test_smt003_proves_shadowed_rule_dead():
+    report = analyze({"r1.cfg": SMT003_CFG})
+    (diag,) = report.by_rule("SMT003")
+    assert diag.severity is Severity.WARNING
+    assert "rule 2" in diag.message           # /24 inside the denied /16
+    assert diag.line == line_of(SMT003_CFG, "permit ip 10.9.1.0")
+
+
+def test_smt003_does_not_flag_reachable_rules():
+    report = analyze({"r1.cfg": SMT003_CFG})
+    messages = " ".join(d.message for d in report.by_rule("SMT003"))
+    assert "rule 1" not in messages
+    assert "rule 3" not in messages
+
+
+def test_smt003_near_miss_disjoint_rules():
+    cfg = SMT003_CFG.replace("permit ip 10.9.1.0 0.0.0.255",
+                             "permit ip 10.8.1.0 0.0.0.255")
+    report = analyze({"r1.cfg": cfg})
+    assert report.by_rule("SMT003") == []
+
+
+# ----------------------------------------------------------------------
+# SMT004 — permit-all / deny-all route-maps
+# ----------------------------------------------------------------------
+
+SMT004_PERMIT_ALL = """\
+hostname r1
+interface eth0
+ ip address 10.0.0.1 255.255.255.0
+route-map OPEN permit 10
+router bgp 65001
+ neighbor 10.0.0.9 remote-as 65002
+ neighbor 10.0.0.9 route-map OPEN in
+"""
+
+SMT004_DENY_ALL = """\
+hostname r1
+interface eth0
+ ip address 10.0.0.1 255.255.255.0
+ip prefix-list NONE seq 10 deny 0.0.0.0/0 le 32
+route-map CLOSED permit 10
+ match ip address prefix-list NONE
+router bgp 65001
+ neighbor 10.0.0.9 remote-as 65002
+ neighbor 10.0.0.9 route-map CLOSED in
+"""
+
+
+def test_smt004_flags_permit_all():
+    report = analyze({"r1.cfg": SMT004_PERMIT_ALL})
+    (diag,) = report.by_rule("SMT004")
+    assert diag.severity is Severity.INFO
+    assert "permit-all" in diag.message
+    assert diag.line == line_of(SMT004_PERMIT_ALL, "route-map OPEN")
+    # INFO findings never fail the build.
+    assert report.exit_code == 0
+
+
+def test_smt004_flags_deny_all():
+    report = analyze({"r1.cfg": SMT004_DENY_ALL})
+    found = report.by_rule("SMT004")
+    assert len(found) == 1
+    assert "deny-all" in found[0].message
+
+
+def test_smt004_near_miss_transforming_map_not_degenerate():
+    # A match-free permit clause that *sets* an attribute is not a
+    # no-op permit-all: removing the map would change routing.
+    cfg = SMT004_PERMIT_ALL.replace(
+        "route-map OPEN permit 10",
+        "route-map OPEN permit 10\n set local-preference 200")
+    report = analyze({"r1.cfg": cfg})
+    assert report.by_rule("SMT004") == []
+
+
+def test_smt004_near_miss_real_filter_not_degenerate():
+    cfg = SMT004_DENY_ALL.replace("deny 0.0.0.0/0 le 32",
+                                  "permit 10.9.0.0/16 le 24")
+    report = analyze({"r1.cfg": cfg})
+    assert report.by_rule("SMT004") == []

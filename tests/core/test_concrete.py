@@ -13,7 +13,7 @@ from repro.core.encoder import EncoderOptions, NetworkEncoder
 from repro.net import NetworkBuilder
 from repro.net import ip as iplib
 from repro.sim import Environment, ExternalAnnouncement
-from repro.smt import SAT, Solver, UNSAT
+from repro.smt import SAT, Solver
 
 
 def bgp_net():

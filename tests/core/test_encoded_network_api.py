@@ -82,7 +82,7 @@ class TestFailuresNeeded:
 
 class TestExactFailures:
     def test_exact_failures_option(self):
-        from repro.smt import SAT, Solver, not_, or_
+        from repro.smt import Solver, not_
 
         net = tiny()
         enc = NetworkEncoder(

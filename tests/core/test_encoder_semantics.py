@@ -11,7 +11,7 @@ from repro import NetworkBuilder, Verifier
 from repro.core import properties as P
 from repro.core.encoder import EncoderOptions, NetworkEncoder
 from repro.net import ip as iplib
-from repro.smt import SAT, Solver, UNSAT, not_
+from repro.smt import SAT, Solver, UNSAT
 
 
 class TestGhostRoutes:
@@ -116,7 +116,7 @@ class TestEnvironmentSanity:
         solver = Solver()
         solver.add(*enc.constraints)
         env = enc.env["N1"]
-        from repro.smt import and_, bv_val, eq
+        from repro.smt import bv_val, eq
         solver.add(env.valid)
         assert solver.check() is SAT
         assert solver.check(

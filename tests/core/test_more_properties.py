@@ -1,7 +1,6 @@
 """Coverage for the remaining §5 properties: disjoint paths, path
 preferences, waypointing to external destinations, isolation with peers."""
 
-import pytest
 
 from repro import NetworkBuilder, Verifier
 from repro.core import properties as P
@@ -167,7 +166,6 @@ class TestVerificationResultApi:
         assert bad.seconds >= 0
 
     def test_unknown_on_tiny_budget(self):
-        import itertools
 
         from repro.gen import build_fattree
 

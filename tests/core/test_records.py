@@ -14,7 +14,7 @@ from repro.core.records import (
     prefer_overall,
 )
 from repro.net.route import Route
-from repro.sim.decision import bgp_prefers, select_best
+from repro.sim.decision import bgp_prefers
 from repro.smt import FALSE, TRUE, evaluate
 
 FACTORY = RecordFactory(Widths(), FieldSet(local_pref=True, med=True,
@@ -170,7 +170,7 @@ def test_record_ite_merges_fieldwise():
 
 
 def test_equate_is_guarded_on_validity():
-    from repro.smt import Solver, SAT, and_
+    from repro.smt import Solver, SAT
 
     free = FACTORY.fresh("ge_a")
     # An invalid record whose metric "equals itself plus one" through the

@@ -14,6 +14,12 @@ from repro.net import (
 from repro.net import ip as iplib
 
 
+def _without_spans(obj) -> dict:
+    """``vars()`` minus source-span provenance fields (line numbers)."""
+    return {k: v for k, v in vars(obj).items()
+            if k != "line" and not k.endswith("_line")}
+
+
 def assert_configs_equivalent(a: DeviceConfig, b: DeviceConfig) -> None:
     assert a.hostname == b.hostname
     assert set(a.interfaces) == set(b.interfaces)
@@ -35,15 +41,15 @@ def assert_configs_equivalent(a: DeviceConfig, b: DeviceConfig) -> None:
         assert a.bgp.redistribute == b.bgp.redistribute
         assert a.bgp.multipath == b.bgp.multipath
         assert a.bgp.med_mode == b.bgp.med_mode
-        assert [vars(n) for n in a.bgp.neighbors] == \
-               [vars(n) for n in b.bgp.neighbors]
+        assert [_without_spans(n) for n in a.bgp.neighbors] == \
+               [_without_spans(n) for n in b.bgp.neighbors]
     assert (a.ospf is None) == (b.ospf is None)
     if a.ospf:
         assert a.ospf.networks == b.ospf.networks
         assert a.ospf.redistribute == b.ospf.redistribute
         assert a.ospf.multipath == b.ospf.multipath
-    assert [vars(s) for s in a.static_routes] == \
-           [vars(s) for s in b.static_routes]
+    assert [_without_spans(s) for s in a.static_routes] == \
+           [_without_spans(s) for s in b.static_routes]
 
 
 def test_roundtrip_handbuilt_network():

@@ -1,6 +1,5 @@
 """Concrete-evaluation tests for ACLs, prefix lists and route maps."""
 
-import pytest
 
 from repro.net import (
     Acl,
@@ -162,11 +161,15 @@ class TestRouteMap:
         assert out.communities == frozenset({"65001:8"})
 
     def test_missing_prefix_list_never_matches(self):
+        from repro.analysis.hazards import collect_dangling
+
         rmap = RouteMap("RM", (
             RouteMapClause(seq=10, action="permit",
                            match_prefix_list="NOPE"),
         ))
-        assert rmap.evaluate(route(), make_device()) is None
+        with collect_dangling() as seen:
+            assert rmap.evaluate(route(), make_device()) is None
+        assert [(r.kind, r.name) for r in seen] == [("prefix-list", "NOPE")]
 
 
 class TestRoutePreference:

@@ -1,6 +1,5 @@
 """Data-plane tracing: dispositions, ECMP branching, ACLs, recursion."""
 
-import pytest
 
 from repro.net import AclRule, NetworkBuilder
 from repro.net import ip as iplib

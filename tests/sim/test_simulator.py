@@ -1,6 +1,5 @@
 """Control-plane simulator tests, including the paper's §2.1 example."""
 
-import pytest
 
 from repro.net import (
     AclRule,

@@ -30,7 +30,7 @@ def test_duplicate_bits_count_twice():
     caller must deduplicate (regression for the parallel-link failure-bit
     bug, where one shared bit listed twice could never be set under
     at-most-1)."""
-    from repro.smt import FALSE, Solver, SAT, UNSAT, at_most_k, bool_var
+    from repro.smt import Solver, SAT, UNSAT, at_most_k, bool_var
 
     bit = bool_var("dup_bit")
     solver = Solver()

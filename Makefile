@@ -24,14 +24,16 @@ lint:
 		echo "ruff not installed; skipping lint"; \
 	fi
 
-# Gate for CI and pre-merge: the full test suite plus a fast (< 30 s)
-# batch-engine smoke that cross-checks batch results against the naive
-# per-query loop, plus the analyzer run over the shipped example
-# configs.  Needs no installed package, only PYTHONPATH.
+# Gate for CI and pre-merge: the full test suite plus fast (< 30 s)
+# smokes — the batch engine cross-checked against the naive per-query
+# loop, the analyzer over the shipped example configs, and the tracing
+# layer's invariants (valid Chrome trace, span/stat agreement, no-op
+# overhead).  Needs no installed package, only PYTHONPATH.
 check: lint analyze
 	PYTHONPATH=src python -m pytest -x -q
 	PYTHONPATH=src:. python benchmarks/run_batch_smoke.py
 	PYTHONPATH=src:. python benchmarks/run_analysis_smoke.py
+	PYTHONPATH=src:. python benchmarks/run_obs_smoke.py
 
 # Regenerate every table/figure of the paper's evaluation (quick subset).
 tables:

@@ -14,13 +14,14 @@ Every benchmark prints the paper-style rows it regenerates, so running
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from contextlib import contextmanager
-from typing import Iterable, List, Sequence
+from typing import Any, Dict, Iterable, List, Sequence
 
 __all__ = ["SCALE", "is_full", "cloud_indices", "fattree_pods",
-           "print_table", "timed"]
+           "print_table", "timed", "emit_metrics"]
 
 SCALE = os.environ.get("REPRO_SCALE", "quick")
 
@@ -65,3 +66,31 @@ def timed():
         yield cell
     finally:
         cell[0] = time.perf_counter() - start
+
+
+def emit_metrics(name: str, payload: Dict[str, Any],
+                 tracer=None) -> str:
+    """Write a ``BENCH_<name>.json`` metrics file next to the repo root.
+
+    ``payload`` carries the benchmark's own numbers (timings, counts);
+    with a ``tracer``, its metrics snapshot and a per-phase duration
+    summary ride along under ``"metrics"``/``"phases"`` so runs are
+    mechanically comparable across commits.
+    """
+    doc: Dict[str, Any] = {"benchmark": name, "scale": SCALE}
+    doc.update(payload)
+    if tracer is not None:
+        phases: Dict[str, Dict[str, float]] = {}
+        for span in tracer.spans:
+            row = phases.setdefault(span["name"],
+                                    {"count": 0, "total_seconds": 0.0})
+            row["count"] += 1
+            row["total_seconds"] += span["duration"]
+        doc["phases"] = phases
+        doc["metrics"] = tracer.metrics.snapshot()
+    path = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), f"BENCH_{name}.json")
+    with open(path, "w") as handle:
+        json.dump(doc, handle, indent=1, sort_keys=True)
+    print(f"metrics written to {path}")
+    return path

@@ -27,6 +27,9 @@ if _sys.getrecursionlimit() < 100000:
 
 __version__ = "1.0.0"
 
+# Imported before core/net so deep layers can `from repro import obs`
+# without tripping over the partially-initialized package.
+from repro import obs  # noqa: E402,F401
 from repro.core import (  # noqa: E402
     BatchEngine,
     BatchQuery,
@@ -45,6 +48,6 @@ from repro.net import (  # noqa: E402
 __all__ = [
     "Network", "NetworkBuilder", "load_network", "network_from_texts",
     "Verifier", "VerificationResult", "EncoderOptions", "NetworkEncoder",
-    "BatchEngine", "BatchQuery",
+    "BatchEngine", "BatchQuery", "obs",
     "__version__",
 ]

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from repro import obs
 from repro.lang.parser import ConfigSyntaxError, parse_config
 from repro.net.device import DeviceConfig
 from repro.net.topology import Network
@@ -54,20 +55,23 @@ def analyze_network(network: Network, smt: bool = True) -> Report:
     report = Report()
     devices = [network.device(n) for n in network.router_names()]
     files = _source_files(devices)
-    for rule in rules_for_scope("device"):
-        report.rules_run.append(rule.id)
-        for device in devices:
-            report.extend(_to_diagnostic(rule, f, files)
-                          for f in rule.check(device))
-    _run(rules_for_scope("network"), report, files, network)
+    with obs.span("analysis.device", devices=len(devices)):
+        for rule in rules_for_scope("device"):
+            report.rules_run.append(rule.id)
+            for device in devices:
+                report.extend(_to_diagnostic(rule, f, files)
+                              for f in rule.check(device))
+    with obs.span("analysis.network"):
+        _run(rules_for_scope("network"), report, files, network)
     if smt:
         from .hazards import collect_dangling
 
         # Guard construction inside the SMT rules touches any dangling
         # references; REF002/REF003 above already reported those, so
         # swallow the runtime hazard signals here.
-        with collect_dangling():
-            _run(rules_for_scope("smt"), report, files, network)
+        with obs.span("analysis.smt"):
+            with collect_dangling():
+                _run(rules_for_scope("smt"), report, files, network)
     return report
 
 

@@ -11,6 +11,9 @@ Examples::
     python -m repro verify-batch configs/ --property reachability \
         --property blackholes --dest-prefix 10.9.0.0/24 --workers 4
     python -m repro verify-batch configs/ --spec queries.json
+    python -m repro verify-batch configs/ --property loops \
+        --workers 4 --profile --trace run.trace.json
+    python -m repro stats run.trace.json
     python -m repro equivalence configs/ R1 R2
     python -m repro simulate configs/ --from R1 --dst 10.9.0.5
 """
@@ -21,8 +24,10 @@ import argparse
 import json
 import os
 import sys
+from contextlib import contextmanager
 from typing import List, Optional
 
+from repro import obs
 from repro.core import BatchQuery, Verifier, properties as P
 from repro.net import load_network
 
@@ -71,6 +76,7 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="verify under up to k link failures")
     verify.add_argument("--announced-by", nargs="*", default=[],
                         help="assume these peers announce the destination")
+    _add_observability_flags(verify)
 
     batch = sub.add_parser(
         "verify-batch",
@@ -97,9 +103,7 @@ def _build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--workers", type=int, default=1,
                        help="process-pool workers for query groups "
                             "(1 = serial)")
-    batch.add_argument("--stats", action="store_true",
-                       help="print per-query vars/clauses/conflicts and "
-                            "encode/solve time split")
+    _add_observability_flags(batch)
 
     equiv = sub.add_parser("equivalence",
                            help="check local equivalence of two routers")
@@ -120,7 +124,56 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--fail", nargs=2, action="append",
                           metavar=("A", "B"), default=[],
                           help="failed link between two routers")
+
+    stats = sub.add_parser(
+        "stats",
+        help="summarize a trace file written by --trace (phase "
+             "breakdown table plus recorded metrics)")
+    stats.add_argument("trace", help="trace file (Chrome JSON or JSONL)")
     return parser
+
+
+def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--stats", action="store_true",
+                        help="print per-query vars/clauses/conflicts and "
+                             "encode/solve time split")
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="record pipeline spans; .jsonl writes JSON "
+                             "lines, anything else Chrome trace-event "
+                             "JSON (Perfetto / chrome://tracing)")
+    parser.add_argument("--profile", action="store_true",
+                        help="print the phase-breakdown table and "
+                             "pipeline metrics after the run")
+
+
+@contextmanager
+def _observed(args):
+    """Install a tracer for the run when --trace/--profile asks for one;
+    write the trace file and/or print the profile tables afterwards."""
+    if not (args.trace or args.profile):
+        yield
+        return
+    tracer = obs.Tracer()
+    with obs.use(tracer):
+        yield
+    if args.trace:
+        obs.export.write_trace(tracer, args.trace)
+        print(f"trace written to {args.trace}", file=sys.stderr)
+    if args.profile:
+        print(obs.export.phase_table(tracer))
+        if len(tracer.metrics):
+            print(obs.export.metrics_table(tracer))
+
+
+def _stats_line(result) -> str:
+    """The per-query --stats detail line (same for verify and batch)."""
+    return (f"  vars={result.num_variables} "
+            f"clauses={result.num_clauses} "
+            f"conflicts={result.conflicts} "
+            f"encode={result.encode_seconds * 1e3:.1f}ms "
+            f"(shared={result.encode_shared_seconds * 1e3:.1f}ms "
+            f"query={result.encode_query_seconds * 1e3:.1f}ms) "
+            f"solve={result.solve_seconds * 1e3:.1f}ms")
 
 
 def _property_from_spec(kind: str, spec: dict) -> P.Property:
@@ -212,13 +265,16 @@ def _cmd_analyze(args) -> int:
 
 
 def _cmd_verify(args) -> int:
-    network = load_network(args.configs)
-    verifier = Verifier(network)
-    prop = _make_property(args)
-    assumptions = [P.announces(peer) for peer in args.announced_by]
-    result = verifier.verify(prop, max_failures=args.max_failures,
-                             assumptions=assumptions)
+    with _observed(args):
+        network = load_network(args.configs)
+        verifier = Verifier(network)
+        prop = _make_property(args)
+        assumptions = [P.announces(peer) for peer in args.announced_by]
+        result = verifier.verify(prop, max_failures=args.max_failures,
+                                 assumptions=assumptions)
     print(result)
+    if args.stats:
+        print(_stats_line(result))
     if result.holds is False and result.counterexample is not None:
         print(result.counterexample.summary())
     return 0 if result.holds else 1
@@ -272,10 +328,11 @@ def _batch_queries(args) -> List[BatchQuery]:
 def _cmd_verify_batch(args) -> int:
     if args.workers < 1:
         raise SystemExit("--workers must be >= 1")
-    network = load_network(args.configs)
-    verifier = Verifier(network)
-    queries = _batch_queries(args)
-    results = verifier.verify_batch(queries, workers=args.workers)
+    with _observed(args):
+        network = load_network(args.configs)
+        verifier = Verifier(network)
+        queries = _batch_queries(args)
+        results = verifier.verify_batch(queries, workers=args.workers)
     status_text = {True: "HOLDS", False: "VIOLATED", None: "UNKNOWN"}
     for query, result in zip(queries, results):
         line = (f"{result.property_name}: {status_text[result.holds]} "
@@ -284,11 +341,7 @@ def _cmd_verify_batch(args) -> int:
             line += f" — {result.message}"
         print(line)
         if args.stats:
-            print(f"  vars={result.num_variables} "
-                  f"clauses={result.num_clauses} "
-                  f"conflicts={result.conflicts} "
-                  f"encode={result.encode_seconds * 1e3:.1f}ms "
-                  f"solve={result.solve_seconds * 1e3:.1f}ms")
+            print(_stats_line(result))
         if result.holds is False and result.counterexample is not None:
             print("  " + result.counterexample.summary()
                   .replace("\n", "\n  "))
@@ -296,6 +349,19 @@ def _cmd_verify_batch(args) -> int:
     holding = sum(1 for r in results if r.holds is True)
     print(f"{holding}/{len(results)} hold, total {total * 1e3:.1f} ms")
     return 0 if all(r.holds is True for r in results) else 1
+
+
+def _cmd_stats(args) -> int:
+    try:
+        data = obs.export.read_trace(args.trace)
+    except OSError as exc:
+        raise SystemExit(f"cannot read trace file: {exc}")
+    except (ValueError, KeyError) as exc:
+        raise SystemExit(f"not a recognizable trace file: {exc}")
+    print(obs.export.phase_table(data))
+    if data.get("metrics"):
+        print(obs.export.metrics_table(data["metrics"]))
+    return 0
 
 
 def _cmd_equivalence(args) -> int:
@@ -345,6 +411,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "verify-batch": _cmd_verify_batch,
         "equivalence": _cmd_equivalence,
         "simulate": _cmd_simulate,
+        "stats": _cmd_stats,
     }
     try:
         return handlers[args.command](args)

@@ -29,6 +29,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro import obs
 from repro.net import ip as iplib
 from repro.net.device import BgpNeighbor, DeviceConfig
 from repro.net.route import DEFAULT_AD, DEFAULT_LOCAL_PREF, IBGP_AD
@@ -200,9 +201,11 @@ class NetworkEncoder:
         if self.options.prune_dead_clauses:
             from repro.analysis.pruning import prune_network
 
-            self.network, self.prune_report = prune_network(network)
+            with obs.span("encode.prune"):
+                self.network, self.prune_report = prune_network(network)
         self.widths = Widths()
-        self._analyze()
+        with obs.span("encode.analyze"):
+            self._analyze()
 
     # ------------------------------------------------------------------
     # Global configuration analysis (drives the §6.2 slicing)
@@ -277,21 +280,35 @@ class NetworkEncoder:
                 prefix (enables the connected-route slice).
             ns: namespace for variable names (isolates parallel encodings).
         """
-        factory = RecordFactory(self.widths, self.fields,
-                                default_local_pref=DEFAULT_LOCAL_PREF)
-        packet = self._make_packet(ns)
-        enc = EncodedNetwork(self.network, self.options, factory, packet)
-        self._ns = ns
-        self._dst_range = dst_prefix
-        self._fwd_copies: Dict[Tuple[str, int], Dict[str, Term]] = {}
-        if dst_prefix is not None:
-            net, length = dst_prefix
-            enc.add(fbm_const(packet.dst_ip, net, length))
-        self._encode_failures(enc)
-        self._encode_environment(enc)
-        self._ibgp_sessions = self._resolve_ibgp_sessions(enc)
-        for name in self.network.router_names():
-            self._encode_router(enc, name)
+        with obs.span("encode.network", ns=ns,
+                      routers=len(self.network.devices)) as sp:
+            factory = RecordFactory(self.widths, self.fields,
+                                    default_local_pref=DEFAULT_LOCAL_PREF)
+            packet = self._make_packet(ns)
+            enc = EncodedNetwork(self.network, self.options, factory,
+                                 packet)
+            self._ns = ns
+            self._dst_range = dst_prefix
+            self._fwd_copies: Dict[Tuple[str, int], Dict[str, Term]] = {}
+            if dst_prefix is not None:
+                net, length = dst_prefix
+                enc.add(fbm_const(packet.dst_ip, net, length))
+            with obs.span("encode.failures"):
+                self._encode_failures(enc)
+            with obs.span("encode.environment"):
+                self._encode_environment(enc)
+            with obs.span("encode.ibgp"):
+                self._ibgp_sessions = self._resolve_ibgp_sessions(enc)
+            metrics = obs.metrics()
+            for name in self.network.router_names():
+                with obs.span("encode.router", router=name) as rsp:
+                    before = len(enc.constraints)
+                    self._encode_router(enc, name)
+                    emitted = len(enc.constraints) - before
+                    rsp.set(constraints=emitted)
+                    metrics.counter("encode.constraints",
+                                    router=name).inc(emitted)
+            sp.set(constraints=len(enc.constraints))
         return enc
 
     def _make_packet(self, ns: str) -> PacketVars:

@@ -36,11 +36,12 @@ a solver; they are routed through ``Verifier.verify`` individually.
 
 from __future__ import annotations
 
-import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
+from repro.net import ip as iplib
 from repro.net.topology import Network
 from repro.smt import Solver, UNKNOWN, UNSAT, implies, not_
 from .counterexample import extract_counterexample
@@ -49,6 +50,7 @@ from .properties import Property
 from .verifier import (
     VerificationResult,
     Verifier,
+    _budget_message,
     effective_max_failures,
 )
 
@@ -98,39 +100,50 @@ class BatchEngine:
 
     def run(self, queries: Sequence) -> List[VerificationResult]:
         """Execute all queries; results are returned in query order."""
-        batch = [q if isinstance(q, BatchQuery) else BatchQuery(prop=q)
-                 for q in queries]
-        groups: Dict[_GroupKey, List[Tuple[int, BatchQuery]]] = {}
-        lazy: List[Tuple[int, BatchQuery]] = []
-        for index, query in enumerate(batch):
-            if getattr(query.prop, "lazy", False):
-                lazy.append((index, query))
-                continue
-            key = (query.prop.dst_prefix(),
-                   effective_max_failures(query.prop, query.max_failures,
-                                          self.options))
-            groups.setdefault(key, []).append((index, query))
+        tracer = obs.active()
+        with tracer.span("batch.run", queries=len(queries),
+                         workers=self.workers) as root:
+            batch = [q if isinstance(q, BatchQuery) else BatchQuery(prop=q)
+                     for q in queries]
+            groups: Dict[_GroupKey, List[Tuple[int, BatchQuery]]] = {}
+            lazy: List[Tuple[int, BatchQuery]] = []
+            with tracer.span("batch.plan"):
+                for index, query in enumerate(batch):
+                    if getattr(query.prop, "lazy", False):
+                        lazy.append((index, query))
+                        continue
+                    key = (query.prop.dst_prefix(),
+                           effective_max_failures(query.prop,
+                                                  query.max_failures,
+                                                  self.options))
+                    groups.setdefault(key, []).append((index, query))
+            root.set(groups=len(groups), lazy=len(lazy))
+            metrics = obs.metrics()
+            metrics.counter("batch.queries").inc(len(batch))
+            metrics.counter("batch.groups").inc(len(groups))
 
-        results: List[Optional[VerificationResult]] = [None] * len(batch)
-        if self.workers > 1 and len(groups) > 1:
-            done = self._run_parallel(groups, results)
-        else:
-            done = False
-        if not done:
-            for key, members in groups.items():
-                for index, result in self._run_group(key, members):
+            results: List[Optional[VerificationResult]] = \
+                [None] * len(batch)
+            if self.workers > 1 and len(groups) > 1:
+                done = self._run_parallel(groups, results)
+            else:
+                done = False
+            if not done:
+                for key, members in groups.items():
+                    pairs, _ = self._run_group(key, members)
+                    for index, result in pairs:
+                        results[index] = result
+
+            if lazy:
+                verifier = Verifier(self.network, options=self.options,
+                                    conflict_budget=self.conflict_budget)
+                for index, query in lazy:
+                    result = verifier.verify(
+                        query.prop, max_failures=query.max_failures,
+                        assumptions=query.assumptions)
+                    if query.label:
+                        result.property_name = query.label
                     results[index] = result
-
-        if lazy:
-            verifier = Verifier(self.network, options=self.options,
-                                conflict_budget=self.conflict_budget)
-            for index, query in lazy:
-                result = verifier.verify(query.prop,
-                                         max_failures=query.max_failures,
-                                         assumptions=query.assumptions)
-                if query.label:
-                    result.property_name = query.label
-                results[index] = result
         return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
@@ -144,84 +157,145 @@ class BatchEngine:
 
     def _run_group(self, key: _GroupKey,
                    members: List[Tuple[int, BatchQuery]],
-                   ) -> List[Tuple[int, VerificationResult]]:
+                   ) -> Tuple[List[Tuple[int, VerificationResult]],
+                              Optional[Dict]]:
         return _solve_group(self.network, self._group_options(key),
                             self.conflict_budget, key[0], members)
 
     def _run_parallel(self, groups, results) -> bool:
         """Run groups in a process pool.  Returns False (leaving
         ``results`` to be recomputed serially) if the pool cannot be
-        spawned or any group fails to ship/execute."""
+        spawned or any group fails to ship/execute.
+
+        With tracing enabled, each worker buffers its own spans/metrics
+        (the parent's tracer is invisible across the process boundary)
+        and ships them back with its results; they are merged here, at
+        join, each group on its own lane.
+        """
         items = list(groups.items())
         workers = min(self.workers, len(items))
+        tracer = obs.active()
         try:
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = [
                     pool.submit(_solve_group, self.network,
                                 self._group_options(key),
-                                self.conflict_budget, key[0], members)
+                                self.conflict_budget, key[0], members,
+                                collect_trace=tracer.enabled)
                     for key, members in items]
                 for future in as_completed(futures):
-                    for index, result in future.result():
+                    pairs, trace_payload = future.result()
+                    for index, result in pairs:
                         results[index] = result
+                    if trace_payload is not None:
+                        tracer.merge(trace_payload)
         except Exception:
             return False
         return True
+
+
+def _group_lane(dst_prefix: Optional[Tuple[int, int]], k: int) -> str:
+    prefix = (iplib.format_prefix(*dst_prefix) if dst_prefix
+              else "any-prefix")
+    return f"group {prefix} k={k}"
 
 
 def _solve_group(network: Network, options: EncoderOptions,
                  conflict_budget: Optional[int],
                  dst_prefix: Optional[Tuple[int, int]],
                  members: List[Tuple[int, BatchQuery]],
-                 ) -> List[Tuple[int, VerificationResult]]:
+                 collect_trace: bool = False,
+                 ) -> Tuple[List[Tuple[int, VerificationResult]],
+                            Optional[Dict]]:
     """Encode the network once and discharge every query of the group.
 
-    Module-level so it can be pickled to process-pool workers.
+    Module-level so it can be pickled to process-pool workers.  Returns
+    the per-query results plus — with ``collect_trace`` (the
+    process-pool path under an enabled tracer) — the worker-side span
+    buffer for the parent to merge at join time.
     """
-    shared_start = time.perf_counter()
-    encoder = NetworkEncoder(network, options)
-    enc = encoder.encode(dst_prefix=dst_prefix)
-    solver = Solver(conflict_budget=conflict_budget)
-    solver.add(*enc.constraints)
-    base_mark = enc.checkpoint()
-    shared_share = (time.perf_counter() - shared_start) / len(members)
+    lane = _group_lane(dst_prefix, options.max_failures)
+    if collect_trace:
+        tracer = obs.Tracer(lane=lane)
+        with obs.use(tracer):
+            pairs = _solve_group_traced(tracer, network, options,
+                                        conflict_budget, dst_prefix,
+                                        members)
+        return pairs, tracer.export()
+    tracer = obs.active()
+    if not tracer.enabled:
+        # Stats-only throwaway tracer: per-result timing fields always
+        # come from spans, traced or not.
+        tracer = obs.Tracer(lane=lane)
+    return (_solve_group_traced(tracer, network, options, conflict_budget,
+                                dst_prefix, members), None)
 
+
+def _solve_group_traced(tracer, network: Network, options: EncoderOptions,
+                        conflict_budget: Optional[int],
+                        dst_prefix: Optional[Tuple[int, int]],
+                        members: List[Tuple[int, BatchQuery]],
+                        ) -> List[Tuple[int, VerificationResult]]:
+    group_span = tracer.span("batch.group", queries=len(members),
+                             max_failures=options.max_failures,
+                             dst_prefix=_group_lane(dst_prefix,
+                                                    options.max_failures))
     out: List[Tuple[int, VerificationResult]] = []
-    for index, query in members:
-        query_start = time.perf_counter()
-        prop_term = query.prop.encode(enc)
-        instrumentation = enc.constraints_since(base_mark)
-        enc.rollback(base_mark)
-        act = enc.fresh_bool("batch.act")
-        solver.add(*[implies(act, c) for c in instrumentation])
-        assumptions = [act, not_(prop_term)]
-        for assumption in query.assumptions:
-            assumptions.append(assumption(enc))
-        encode_seconds = shared_share + time.perf_counter() - query_start
-        outcome = solver.check(assumptions=assumptions)
-        stats = dict(
-            seconds=shared_share + time.perf_counter() - query_start,
-            num_variables=solver.num_variables,
-            num_clauses=solver.num_clauses,
-            encode_seconds=encode_seconds,
-            solve_seconds=solver.last_check_seconds,
-            conflicts=solver.last_check_conflicts)
-        if outcome is UNSAT:
-            result = VerificationResult(property_name=query.name(),
-                                        holds=True, **stats)
-        elif outcome is UNKNOWN:
-            result = VerificationResult(property_name=query.name(),
-                                        holds=None,
-                                        message="conflict budget exhausted",
-                                        **stats)
-        else:
-            model = solver.model()
-            result = VerificationResult(
-                property_name=query.name(), holds=False,
-                counterexample=extract_counterexample(enc, model),
-                message=query.prop.describe_violation(enc, model),
-                **stats)
-        out.append((index, result))
+    with group_span:
+        with tracer.span("verify.encode", shared=True) as sp_shared:
+            encoder = NetworkEncoder(network, options)
+            enc = encoder.encode(dst_prefix=dst_prefix)
+            solver = Solver(conflict_budget=conflict_budget)
+            solver.add(*enc.constraints, label="network")
+            base_mark = enc.checkpoint()
+        # The one-time shared encoding is amortized evenly; each result
+        # carries its share in ``encode_shared_seconds`` so batch totals
+        # sum to real wall time without double-counting.
+        shared_share = sp_shared.duration / len(members)
+
+        for index, query in members:
+            qspan = tracer.span("batch.query", query=query.name())
+            with qspan:
+                with tracer.span("verify.property",
+                                 property=query.name()) as sp_query:
+                    prop_term = query.prop.encode(enc)
+                    instrumentation = enc.constraints_since(base_mark)
+                    enc.rollback(base_mark)
+                    act = enc.fresh_bool("batch.act")
+                    solver.add(*[implies(act, c) for c in instrumentation],
+                               label="instrumentation")
+                    assumptions = [act, not_(prop_term)]
+                    for assumption in query.assumptions:
+                        assumptions.append(assumption(enc))
+                with tracer.span("verify.solve") as sp_solve:
+                    outcome = solver.check(assumptions=assumptions)
+                if outcome is not UNSAT and outcome is not UNKNOWN:
+                    with tracer.span("verify.model"):
+                        model = solver.model()
+                        counterexample = extract_counterexample(enc, model)
+                        message = query.prop.describe_violation(enc, model)
+            stats = dict(
+                seconds=shared_share + qspan.duration,
+                num_variables=solver.num_variables,
+                num_clauses=solver.num_clauses,
+                encode_seconds=shared_share + sp_query.duration,
+                encode_shared_seconds=shared_share,
+                encode_query_seconds=sp_query.duration,
+                solve_seconds=sp_solve.duration,
+                conflicts=solver.last_check_conflicts)
+            if outcome is UNSAT:
+                result = VerificationResult(property_name=query.name(),
+                                            holds=True, **stats)
+            elif outcome is UNKNOWN:
+                result = VerificationResult(
+                    property_name=query.name(), holds=None,
+                    message=_budget_message(solver), **stats)
+            else:
+                result = VerificationResult(
+                    property_name=query.name(), holds=False,
+                    counterexample=counterexample, message=message,
+                    **stats)
+            out.append((index, result))
     return out
 
 

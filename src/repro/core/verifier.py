@@ -15,8 +15,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, replace
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.net import ip as iplib
 from repro.net.topology import Network
 from repro.smt import (
@@ -55,16 +56,63 @@ def effective_max_failures(prop: Property,
     return max(options.max_failures, prop.failures_needed)
 
 
+def _query_tracer():
+    """The globally installed tracer, or a throwaway local one.
+
+    Every query is timed through span objects either way, so result
+    statistics are always a view over the same telemetry that feeds
+    trace files; the throwaway tracer just never gets exported.
+    """
+    tracer = obs.active()
+    return tracer if tracer.enabled else obs.Tracer(lane="verify")
+
+
+def _span_stats(root, sp_shared, sp_query, sp_solve,
+                solver: Solver) -> Dict:
+    """Result statistics derived from the query's closed spans."""
+    return dict(
+        seconds=root.duration,
+        num_variables=solver.num_variables,
+        num_clauses=solver.num_clauses,
+        encode_seconds=sp_shared.duration + sp_query.duration,
+        encode_shared_seconds=sp_shared.duration,
+        encode_query_seconds=sp_query.duration,
+        solve_seconds=sp_solve.duration,
+        conflicts=solver.last_check_conflicts)
+
+
+def _budget_message(solver: Solver) -> str:
+    """UNKNOWN diagnostics, fed by the solver's periodic progress hook."""
+    msg = (f"conflict budget exhausted after "
+           f"{solver.last_check_conflicts} conflicts")
+    samples = solver.last_check_progress
+    if samples:
+        last = samples[-1]
+        msg += (f" (at last sample: {last['decisions']} decisions, "
+                f"{last['propagations']} propagations, "
+                f"{last['restarts']} restarts, "
+                f"{last['learned']} learned clauses)")
+    return msg
+
+
 @dataclass
 class VerificationResult:
     """Outcome of one verification query.
 
-    ``seconds`` is total wall time; ``encode_seconds`` and
-    ``solve_seconds`` split it into constraint generation (network +
-    property instrumentation, bit-blasting excluded) and SAT search.  In
-    batch mode the shared network-encoding cost is amortized evenly over
-    the queries of a group, so summing ``encode_seconds`` across a batch
-    reflects the real total.
+    Timing fields are views over the span telemetry recorded while the
+    query ran (see :mod:`repro.obs`): ``seconds`` is total wall time and
+    ``encode_seconds``/``solve_seconds`` split it into constraint
+    generation (network encoding, property instrumentation and CNF
+    translation) and SAT search.
+
+    Encoding cost is further split so batch accounting is explicit:
+    ``encode_shared_seconds`` is the network-encoding cost attributed to
+    this query — the full cost for a standalone :meth:`Verifier.verify`,
+    or this query's even share of its group's one-time shared encoding
+    in batch mode — and ``encode_query_seconds`` is the cost specific to
+    this query (property instrumentation plus its CNF translation).
+    ``encode_seconds`` is always their sum, so summing it across a batch
+    reflects the real total encoding time without double-counting.
     """
 
     property_name: str
@@ -77,6 +125,8 @@ class VerificationResult:
     encode_seconds: float = 0.0
     solve_seconds: float = 0.0
     conflicts: int = 0
+    encode_shared_seconds: float = 0.0
+    encode_query_seconds: float = 0.0
 
     def __bool__(self) -> bool:
         return bool(self.holds)
@@ -125,7 +175,9 @@ class Verifier:
 
         # Syntactic rules only: the SMT-backed shadow checks are opt-in
         # via the analyze CLI — construction must stay cheap.
-        report = analyze_network(self.network, smt=False)
+        with obs.span("analysis.preflight", strict=strict) as sp:
+            report = analyze_network(self.network, smt=False)
+            sp.set(diagnostics=len(report.diagnostics))
         errors = report.count(Severity.ERROR)
         if errors and strict:
             raise AnalysisError(report)
@@ -157,42 +209,50 @@ class Verifier:
         bound); ``prop.failures_needed`` still raises the bound when the
         property structurally requires more failures than requested.
         """
-        start = time.perf_counter()
+        tracer = _query_tracer()
+        name = type(prop).__name__
         options = self.options
         k = effective_max_failures(prop, max_failures, options)
         if k != options.max_failures:
             options = replace(options, max_failures=k)
-        encoder = NetworkEncoder(self.network, options)
-        enc = encoder.encode(dst_prefix=prop.dst_prefix())
-        prop_term = prop.encode(enc)
-        encode_seconds = time.perf_counter() - start
-        solver = Solver(conflict_budget=self.conflict_budget)
-        solver.add(*enc.constraints)
-        for assumption in assumptions:
-            solver.add(assumption(enc))
-        if getattr(prop, "lazy", False):
-            return self._lazy_verify(prop, enc, solver, start)
-        solver.add(not_(prop_term))
-        outcome = solver.check()
-        seconds = time.perf_counter() - start
-        stats = dict(
-            seconds=seconds, num_variables=solver.num_variables,
-            num_clauses=solver.num_clauses,
-            encode_seconds=encode_seconds,
-            solve_seconds=solver.last_check_seconds,
-            conflicts=solver.last_check_conflicts)
+        root = tracer.span("verify", property=name, max_failures=k)
+        with root:
+            with tracer.span("verify.encode") as sp_shared:
+                encoder = NetworkEncoder(self.network, options)
+                enc = encoder.encode(dst_prefix=prop.dst_prefix())
+                solver = Solver(conflict_budget=self.conflict_budget)
+                solver.add(*enc.constraints, label="network")
+                base_mark = enc.checkpoint()
+            with tracer.span("verify.property", property=name) as sp_query:
+                prop_term = prop.encode(enc)
+                # Property encoding may append instrumentation constraints
+                # (e.g. reach bits) to the encoding; assert just those.
+                solver.add(*enc.constraints_since(base_mark),
+                           label="instrumentation")
+                for assumption in assumptions:
+                    solver.add(assumption(enc), label="assumptions")
+                if getattr(prop, "lazy", False):
+                    return self._lazy_verify(prop, enc, solver,
+                                             tracer, root)
+                solver.add(not_(prop_term), label="property")
+            with tracer.span("verify.solve") as sp_solve:
+                outcome = solver.check()
+            if outcome is SAT:
+                with tracer.span("verify.model"):
+                    model = solver.model()
+                    counterexample = extract_counterexample(enc, model)
+                    message = prop.describe_violation(enc, model)
+        stats = _span_stats(root, sp_shared, sp_query, sp_solve, solver)
         if outcome is UNSAT:
             return VerificationResult(
-                property_name=type(prop).__name__, holds=True, **stats)
+                property_name=name, holds=True, **stats)
         if outcome is UNKNOWN:
             return VerificationResult(
-                property_name=type(prop).__name__, holds=None,
-                message="conflict budget exhausted", **stats)
-        model = solver.model()
+                property_name=name, holds=None,
+                message=_budget_message(solver), **stats)
         return VerificationResult(
-            property_name=type(prop).__name__, holds=False,
-            counterexample=extract_counterexample(enc, model),
-            message=prop.describe_violation(enc, model), **stats)
+            property_name=name, holds=False,
+            counterexample=counterexample, message=message, **stats)
 
     # ------------------------------------------------------------------
     # Batch verification (shared-encoding incremental + parallel groups)
@@ -223,14 +283,18 @@ class Verifier:
     # ------------------------------------------------------------------
 
     def _lazy_verify(self, prop, enc: EncodedNetwork, solver: Solver,
-                     start: float,
+                     tracer, root,
                      max_iterations: int = 200) -> VerificationResult:
-        for _ in range(max_iterations):
-            outcome = solver.check()
+        def elapsed() -> float:
+            return time.perf_counter() - root.start
+
+        for iteration in range(max_iterations):
+            with tracer.span("verify.solve", lazy_iteration=iteration):
+                outcome = solver.check()
             if outcome is UNSAT:
                 return VerificationResult(
                     property_name=type(prop).__name__, holds=True,
-                    seconds=time.perf_counter() - start,
+                    seconds=elapsed(),
                     num_variables=solver.num_variables,
                     num_clauses=solver.num_clauses)
             if outcome is UNKNOWN:
@@ -242,7 +306,7 @@ class Verifier:
                     property_name=type(prop).__name__, holds=False,
                     counterexample=extract_counterexample(enc, model),
                     message=violation,
-                    seconds=time.perf_counter() - start,
+                    seconds=elapsed(),
                     num_variables=solver.num_variables,
                     num_clauses=solver.num_clauses)
             # Block this forwarding configuration and search for another
@@ -254,11 +318,11 @@ class Verifier:
                 block.append(not_(term) if value else term)
             if not block:
                 break
-            solver.add(or_(*block))
+            solver.add(or_(*block), label="refinement")
         return VerificationResult(
             property_name=type(prop).__name__, holds=None,
             message="lazy refinement budget exhausted",
-            seconds=time.perf_counter() - start,
+            seconds=elapsed(),
             num_variables=solver.num_variables,
             num_clauses=solver.num_clauses)
 
@@ -271,47 +335,60 @@ class Verifier:
         """Check that ``prop`` holds in the failure-free network exactly
         when it holds under any ``k`` failures (two encoding copies with a
         shared environment)."""
-        start = time.perf_counter()
-        base_encoder = NetworkEncoder(
-            self.network, replace(self.options, max_failures=0))
-        fail_encoder = NetworkEncoder(
-            self.network, replace(self.options, max_failures=k))
-        enc0 = base_encoder.encode(dst_prefix=prop.dst_prefix(), ns="c0.")
-        enc1 = fail_encoder.encode(dst_prefix=prop.dst_prefix(), ns="c1.")
-        term0 = prop.encode(enc0)
-        term1 = prop.encode(enc1)
-        solver = Solver(conflict_budget=self.conflict_budget)
-        solver.add(*enc0.constraints)
-        solver.add(*enc1.constraints)
-        # Same packet and same external announcements in both copies.
-        solver.add(*_equate_packets(enc0, enc1))
-        solver.add(*_equate_environments(enc0, enc1))
-        solver.add(not_(iff(term0, term1)))
-        outcome = solver.check()
-        seconds = time.perf_counter() - start
+        tracer = _query_tracer()
         name = f"FaultInvariance[{type(prop).__name__}, k={k}]"
+        root = tracer.span("verify.fault_invariance", property=name, k=k)
+        with root:
+            with tracer.span("verify.encode") as sp_shared:
+                base_encoder = NetworkEncoder(
+                    self.network, replace(self.options, max_failures=0))
+                fail_encoder = NetworkEncoder(
+                    self.network, replace(self.options, max_failures=k))
+                enc0 = base_encoder.encode(dst_prefix=prop.dst_prefix(),
+                                           ns="c0.")
+                enc1 = fail_encoder.encode(dst_prefix=prop.dst_prefix(),
+                                           ns="c1.")
+                solver = Solver(conflict_budget=self.conflict_budget)
+                solver.add(*enc0.constraints, label="network")
+                solver.add(*enc1.constraints, label="network")
+                mark0 = enc0.checkpoint()
+                mark1 = enc1.checkpoint()
+            with tracer.span("verify.property", property=name) as sp_query:
+                term0 = prop.encode(enc0)
+                term1 = prop.encode(enc1)
+                solver.add(*enc0.constraints_since(mark0),
+                           label="instrumentation")
+                solver.add(*enc1.constraints_since(mark1),
+                           label="instrumentation")
+                # Same packet and same external announcements in both
+                # copies.
+                solver.add(*_equate_packets(enc0, enc1), label="property")
+                solver.add(*_equate_environments(enc0, enc1),
+                           label="property")
+                solver.add(not_(iff(term0, term1)), label="property")
+            with tracer.span("verify.solve") as sp_solve:
+                outcome = solver.check()
+            if outcome is SAT:
+                with tracer.span("verify.model"):
+                    model = solver.model()
+                    failed = [key for key, term in enc1.failed.items()
+                              if model.eval(term)]
+                    failed += [key for key, term in enc1.failed_ext.items()
+                               if model.eval(term)]
+                    counterexample = extract_counterexample(enc1, model)
+        stats = _span_stats(root, sp_shared, sp_query, sp_solve, solver)
         if outcome is UNSAT:
             return VerificationResult(property_name=name, holds=True,
-                                      seconds=seconds,
-                                      num_variables=solver.num_variables,
-                                      num_clauses=solver.num_clauses)
+                                      **stats)
         if outcome is UNKNOWN:
             return VerificationResult(property_name=name, holds=None,
-                                      message="budget exhausted",
-                                      seconds=seconds,
-                                      num_variables=solver.num_variables,
-                                      num_clauses=solver.num_clauses)
-        model = solver.model()
-        failed = [key for key, term in enc1.failed.items()
-                  if model.eval(term)]
-        failed += [key for key, term in enc1.failed_ext.items()
-                   if model.eval(term)]
+                                      message=_budget_message(solver),
+                                      **stats)
         return VerificationResult(
             property_name=name, holds=False,
-            counterexample=extract_counterexample(enc1, model),
+            counterexample=counterexample,
             message=f"behaviour differs when links {failed} fail",
-            seconds=seconds, num_variables=solver.num_variables,
-            num_clauses=solver.num_clauses)
+            **stats)
 
     # ------------------------------------------------------------------
     # Pairwise fault-invariant reachability (the §8.1 check)
@@ -326,55 +403,66 @@ class Verifier:
         One query: reach bits are instrumented in both copies and required
         to agree for every source.
         """
-        start = time.perf_counter()
-        prefix = iplib.parse_prefix(dest_prefix) if dest_prefix else None
-        enc0 = NetworkEncoder(
-            self.network,
-            replace(self.options, max_failures=0)).encode(prefix, ns="c0.")
-        # Failures range over internal links: an external session flap
-        # changes the environment, not the network, and both copies share
-        # one environment (matching the paper's zero-violation finding).
-        enc1 = NetworkEncoder(
-            self.network,
-            replace(self.options, max_failures=k,
-                    fail_external=False)).encode(prefix, ns="c1.")
-        # Instrument both copies before loading the solver so the
-        # instrumentation constraints are included.
-        base0 = {r: enc0.local_deliver.get(r, FALSE) for r in enc0.routers()}
-        base1 = {r: enc1.local_deliver.get(r, FALSE) for r in enc1.routers()}
-        reach0 = reach_instrumentation(enc0, base0, tag="fi0")
-        reach1 = reach_instrumentation(enc1, base1, tag="fi1")
-        mismatch = or_(*[not_(iff(reach0[r], reach1[r]))
-                         for r in enc0.routers()])
-        solver = Solver(conflict_budget=self.conflict_budget)
-        solver.add(*enc0.constraints)
-        solver.add(*enc1.constraints)
-        solver.add(*_equate_packets(enc0, enc1))
-        solver.add(*_equate_environments(enc0, enc1))
-        solver.add(mismatch)
-        outcome = solver.check()
-        seconds = time.perf_counter() - start
+        tracer = _query_tracer()
         name = f"PairwiseFaultInvariance[k={k}]"
+        root = tracer.span("verify.pairwise_fault_invariance",
+                           property=name, k=k)
+        with root:
+            with tracer.span("verify.encode") as sp_shared:
+                prefix = (iplib.parse_prefix(dest_prefix)
+                          if dest_prefix else None)
+                enc0 = NetworkEncoder(
+                    self.network,
+                    replace(self.options, max_failures=0)).encode(
+                        prefix, ns="c0.")
+                # Failures range over internal links: an external session
+                # flap changes the environment, not the network, and both
+                # copies share one environment (matching the paper's
+                # zero-violation finding).
+                enc1 = NetworkEncoder(
+                    self.network,
+                    replace(self.options, max_failures=k,
+                            fail_external=False)).encode(prefix, ns="c1.")
+            with tracer.span("verify.property", property=name) as sp_query:
+                # Instrument both copies before loading the solver so the
+                # instrumentation constraints are included.
+                base0 = {r: enc0.local_deliver.get(r, FALSE)
+                         for r in enc0.routers()}
+                base1 = {r: enc1.local_deliver.get(r, FALSE)
+                         for r in enc1.routers()}
+                reach0 = reach_instrumentation(enc0, base0, tag="fi0")
+                reach1 = reach_instrumentation(enc1, base1, tag="fi1")
+                mismatch = or_(*[not_(iff(reach0[r], reach1[r]))
+                                 for r in enc0.routers()])
+                solver = Solver(conflict_budget=self.conflict_budget)
+                solver.add(*enc0.constraints, label="network")
+                solver.add(*enc1.constraints, label="network")
+                solver.add(*_equate_packets(enc0, enc1), label="property")
+                solver.add(*_equate_environments(enc0, enc1),
+                           label="property")
+                solver.add(mismatch, label="property")
+            with tracer.span("verify.solve") as sp_solve:
+                outcome = solver.check()
+            if outcome is SAT:
+                with tracer.span("verify.model"):
+                    model = solver.model()
+                    diff = [r for r in enc0.routers()
+                            if model.eval(reach0[r]) != model.eval(
+                                reach1[r])]
+                    counterexample = extract_counterexample(enc1, model)
+        stats = _span_stats(root, sp_shared, sp_query, sp_solve, solver)
         if outcome is UNSAT:
             return VerificationResult(property_name=name, holds=True,
-                                      seconds=seconds,
-                                      num_variables=solver.num_variables,
-                                      num_clauses=solver.num_clauses)
+                                      **stats)
         if outcome is UNKNOWN:
             return VerificationResult(property_name=name, holds=None,
-                                      message="budget exhausted",
-                                      seconds=seconds,
-                                      num_variables=solver.num_variables,
-                                      num_clauses=solver.num_clauses)
-        model = solver.model()
-        diff = [r for r in enc0.routers()
-                if model.eval(reach0[r]) != model.eval(reach1[r])]
+                                      message=_budget_message(solver),
+                                      **stats)
         return VerificationResult(
             property_name=name, holds=False,
-            counterexample=extract_counterexample(enc1, model),
+            counterexample=counterexample,
             message=f"reachability of {diff} changes under failure",
-            seconds=seconds, num_variables=solver.num_variables,
-            num_clauses=solver.num_clauses)
+            **stats)
 
     # ------------------------------------------------------------------
     # Local equivalence (§5): isolated routers on symbolic inputs
@@ -393,12 +481,15 @@ class Verifier:
         """
         from .equivalence import check_local_equivalence
 
-        start = time.perf_counter()
-        result = check_local_equivalence(
-            self.network, router_a, router_b,
-            options=self.options, conflict_budget=self.conflict_budget,
-            iface_pairing=iface_pairing)
-        result.seconds = time.perf_counter() - start
+        tracer = _query_tracer()
+        root = tracer.span("verify.local_equivalence",
+                           routers=f"{router_a},{router_b}")
+        with root:
+            result = check_local_equivalence(
+                self.network, router_a, router_b,
+                options=self.options, conflict_budget=self.conflict_budget,
+                iface_pairing=iface_pairing)
+        result.seconds = root.duration
         return result
 
     # ------------------------------------------------------------------
@@ -410,45 +501,53 @@ class Verifier:
         """Are two whole networks behaviourally equivalent?  External
         peers are paired by name; all data-plane forwarding decisions and
         exports to externals must agree."""
-        start = time.perf_counter()
-        enc_a = NetworkEncoder(self.network, self.options).encode(ns="A.")
-        enc_b = NetworkEncoder(other, self.options).encode(ns="B.")
-        solver = Solver(conflict_budget=self.conflict_budget)
-        solver.add(*enc_a.constraints)
-        solver.add(*enc_b.constraints)
-        solver.add(*_equate_packets(enc_a, enc_b))
-        solver.add(*_equate_environments(enc_a, enc_b))
-        differences: List[Term] = []
-        for key in set(enc_a.fwd) | set(enc_b.fwd):
-            differences.append(not_(iff(enc_a.data_fwd(*key),
-                                        enc_b.data_fwd(*key))))
-        for key in set(enc_a.export_to_ext) & set(enc_b.export_to_ext):
-            rec_a = enc_a.export_to_ext[key]
-            rec_b = enc_b.export_to_ext[key]
-            differences.append(not_(and_(
-                *enc_a.factory.equate(rec_a, rec_b))))
-        solver.add(or_(*differences) if differences else FALSE)
-        outcome = solver.check()
-        seconds = time.perf_counter() - start
+        tracer = _query_tracer()
         name = "FullEquivalence"
+        root = tracer.span("verify.full_equivalence")
+        with root:
+            with tracer.span("verify.encode") as sp_shared:
+                enc_a = NetworkEncoder(self.network,
+                                       self.options).encode(ns="A.")
+                enc_b = NetworkEncoder(other, self.options).encode(ns="B.")
+                solver = Solver(conflict_budget=self.conflict_budget)
+                solver.add(*enc_a.constraints, label="network")
+                solver.add(*enc_b.constraints, label="network")
+            with tracer.span("verify.property", property=name) as sp_query:
+                solver.add(*_equate_packets(enc_a, enc_b),
+                           label="property")
+                solver.add(*_equate_environments(enc_a, enc_b),
+                           label="property")
+                differences: List[Term] = []
+                for key in set(enc_a.fwd) | set(enc_b.fwd):
+                    differences.append(not_(iff(enc_a.data_fwd(*key),
+                                                enc_b.data_fwd(*key))))
+                for key in (set(enc_a.export_to_ext)
+                            & set(enc_b.export_to_ext)):
+                    rec_a = enc_a.export_to_ext[key]
+                    rec_b = enc_b.export_to_ext[key]
+                    differences.append(not_(and_(
+                        *enc_a.factory.equate(rec_a, rec_b))))
+                solver.add(or_(*differences) if differences else FALSE,
+                           label="property")
+            with tracer.span("verify.solve") as sp_solve:
+                outcome = solver.check()
+            if outcome is SAT:
+                with tracer.span("verify.model"):
+                    model = solver.model()
+                    counterexample = extract_counterexample(enc_a, model)
+        stats = _span_stats(root, sp_shared, sp_query, sp_solve, solver)
         if outcome is UNSAT:
             return VerificationResult(property_name=name, holds=True,
-                                      seconds=seconds,
-                                      num_variables=solver.num_variables,
-                                      num_clauses=solver.num_clauses)
+                                      **stats)
         if outcome is UNKNOWN:
             return VerificationResult(property_name=name, holds=None,
-                                      message="budget exhausted",
-                                      seconds=seconds,
-                                      num_variables=solver.num_variables,
-                                      num_clauses=solver.num_clauses)
-        model = solver.model()
+                                      message=_budget_message(solver),
+                                      **stats)
         return VerificationResult(
             property_name=name, holds=False,
-            counterexample=extract_counterexample(enc_a, model),
+            counterexample=counterexample,
             message="networks diverge on some packet/environment",
-            seconds=seconds, num_variables=solver.num_variables,
-            num_clauses=solver.num_clauses)
+            **stats)
 
 
 def _equate_packets(a: EncodedNetwork, b: EncodedNetwork) -> List[Term]:

@@ -2,10 +2,10 @@
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 from typing import Dict, Union
 
+from repro import obs
 from repro.lang.parser import parse_config
 from .topology import Network
 
@@ -36,9 +36,12 @@ def load_network(directory: Union[str, Path]) -> Network:
 def network_from_texts(texts: Dict[str, str]) -> Network:
     """Build a network from a mapping of file name → config text."""
     devices = []
-    for filename, text in texts.items():
-        try:
-            devices.append(parse_config(text, source=filename))
-        except Exception as exc:
-            raise ValueError(f"{filename}: {exc}") from exc
-    return Network(devices)
+    with obs.span("parse", files=len(texts)):
+        for filename, text in texts.items():
+            with obs.span("parse.file", file=filename):
+                try:
+                    devices.append(parse_config(text, source=filename))
+                except Exception as exc:
+                    raise ValueError(f"{filename}: {exc}") from exc
+    with obs.span("net.build", devices=len(devices)):
+        return Network(devices)

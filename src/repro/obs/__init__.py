@@ -1,0 +1,54 @@
+"""Pipeline observability: hierarchical spans, metrics, trace exporters.
+
+The paper's evaluation (§8) is a study of where time and formula size go
+— encode vs. solve, variables and clauses per optimization.  This
+package is the instrumentation layer that makes those quantities visible
+in this reproduction: every pipeline stage (parse → device build →
+encode → bit-blast → Tseitin → CDCL search) opens :class:`Span`\\ s and
+bumps metrics, and exporters turn one run into a phase-breakdown table,
+JSONL metrics, or a Chrome trace-event file for Perfetto.
+
+Typical use::
+
+    from repro import obs
+
+    tracer = obs.enable()            # process-wide; off by default
+    verifier.verify_batch(queries)
+    print(obs.export.phase_table(tracer))
+    obs.export.write_trace(tracer, "run.trace.json")
+    obs.disable()
+
+With no tracer installed every instrumentation point degrades to a
+shared no-op object — no allocation, no clock reads — so the pipeline
+pays nothing for the hooks it does not use.
+"""
+
+from . import export
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+)
+from .spans import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    active,
+    disable,
+    enable,
+    metrics,
+    span,
+    use,
+)
+
+__all__ = [
+    "Span", "Tracer", "NullTracer", "NULL_TRACER",
+    "active", "enable", "disable", "span", "use", "metrics",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "NullRegistry", "NULL_REGISTRY",
+    "export",
+]

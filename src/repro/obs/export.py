@@ -1,0 +1,221 @@
+"""Trace and metrics exporters.
+
+Three output shapes, all fed from :class:`~repro.obs.spans.Tracer`:
+
+* :func:`phase_table` — a human-readable phase breakdown (per span name:
+  call count, total and self time, share of wall clock), the table the
+  ``--stats``/``--profile`` CLI flags and ``repro stats`` print;
+* :func:`to_jsonl` — one JSON object per line (meta, spans, metrics),
+  the machine-readable form the benchmark harness diffs across runs;
+* :func:`to_chrome_trace` — Chrome trace-event JSON loadable in
+  Perfetto / ``chrome://tracing``; lanes (one ``tid`` per worker lane)
+  make batch group parallelism visible side by side.
+
+:func:`read_trace` loads either serialized form back into the common
+``{"spans": [...], "metrics": {...}}`` shape for ``repro stats``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+__all__ = ["phase_table", "to_jsonl", "to_chrome_trace", "write_trace",
+           "read_trace", "metrics_table"]
+
+
+def _spans_of(source) -> List[Dict[str, Any]]:
+    if isinstance(source, dict):
+        return source.get("spans", [])
+    if hasattr(source, "spans"):
+        return source.spans
+    return list(source)
+
+
+# ---------------------------------------------------------------------------
+# Phase breakdown table
+# ---------------------------------------------------------------------------
+
+def phase_table(source, title: str = "phase breakdown") -> str:
+    """Aggregate spans by name into a fixed-width profile table.
+
+    ``self`` time is a span's duration minus its direct children's, so a
+    parent phase does not double-count the phases it contains; the
+    percentage column is self time over wall clock (first span entry to
+    last span exit), which exceeds 100% in total only when lanes
+    genuinely ran in parallel.
+    """
+    spans = _spans_of(source)
+    if not spans:
+        return f"== {title} ==\n(no spans recorded)"
+    child_time: Dict[int, float] = {}
+    for s in spans:
+        if s["parent_id"]:
+            child_time[s["parent_id"]] = (
+                child_time.get(s["parent_id"], 0.0) + s["duration"])
+    wall = (max(s["start"] + s["duration"] for s in spans)
+            - min(s["start"] for s in spans))
+    rows: Dict[str, List[float]] = {}  # name -> [count, total, self, max]
+    for s in spans:
+        row = rows.setdefault(s["name"], [0, 0.0, 0.0, 0.0])
+        row[0] += 1
+        row[1] += s["duration"]
+        row[2] += max(0.0, s["duration"]
+                      - child_time.get(s["span_id"], 0.0))
+        row[3] = max(row[3], s["duration"])
+    name_width = max(len(name) for name in rows)
+    name_width = max(name_width, len("phase"))
+    lines = [f"== {title} (wall {wall * 1e3:.1f} ms) =="]
+    header = (f"{'phase':<{name_width}}  {'count':>5}  {'total ms':>9}  "
+              f"{'self ms':>9}  {'max ms':>8}  {'% wall':>6}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    ordered = sorted(rows.items(), key=lambda kv: -kv[1][2])
+    for name, (count, total, self_s, max_s) in ordered:
+        share = 100.0 * self_s / wall if wall > 0 else 0.0
+        lines.append(
+            f"{name:<{name_width}}  {count:>5}  {total * 1e3:>9.1f}  "
+            f"{self_s * 1e3:>9.1f}  {max_s * 1e3:>8.1f}  {share:>5.1f}%")
+    return "\n".join(lines)
+
+
+def metrics_table(source, title: str = "metrics") -> str:
+    """Render metrics from a tracer, registry, or snapshot dict."""
+    if hasattr(source, "metrics") and not isinstance(source, dict):
+        source = source.metrics
+    metrics = source.snapshot() if hasattr(source, "snapshot") else source
+    if not metrics:
+        return f"== {title} ==\n(no metrics recorded)"
+    lines = [f"== {title} =="]
+    for key in sorted(metrics):
+        entry = metrics[key]
+        kind = entry.get("kind")
+        if kind == "histogram":
+            count = entry.get("count", 0)
+            total = entry.get("sum", 0.0)
+            mean = total / count if count else 0.0
+            detail = (f"count={count} sum={total:.4f} mean={mean:.4f}")
+            if count:
+                detail += (f" min={entry.get('min', 0.0):.4f}"
+                           f" max={entry.get('max', 0.0):.4f}")
+        else:
+            detail = f"{entry.get('value', 0)}"
+        lines.append(f"{key:<44}  {detail}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# JSONL
+# ---------------------------------------------------------------------------
+
+def to_jsonl(tracer) -> str:
+    """Serialize a tracer as JSON lines: meta, then spans, then metrics."""
+    payload = tracer.export()
+    lines = [json.dumps({"type": "meta", "lane": payload.get("lane"),
+                         "pid": payload.get("pid"),
+                         "wall_t0": payload.get("wall_t0")})]
+    for s in payload["spans"]:
+        lines.append(json.dumps({"type": "span", **s}))
+    for key, entry in payload.get("metrics", {}).items():
+        lines.append(json.dumps({"type": "metric", "key": key, **entry}))
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace events (Perfetto / chrome://tracing)
+# ---------------------------------------------------------------------------
+
+def to_chrome_trace(source) -> Dict[str, Any]:
+    """Spans → Chrome trace-event JSON (complete ``"X"`` events).
+
+    Each distinct lane becomes one ``tid`` with a ``thread_name``
+    metadata record, so a parallel batch run renders as side-by-side
+    lanes; span attrs ride along in ``args``.
+    """
+    spans = _spans_of(source)
+    lanes: Dict[str, int] = {}
+    events: List[Dict[str, Any]] = []
+    for s in spans:
+        lane = s.get("lane") or "main"
+        tid = lanes.get(lane)
+        if tid is None:
+            tid = len(lanes) + 1
+            lanes[lane] = tid
+        events.append({
+            "name": s["name"],
+            "cat": s["name"].split(".", 1)[0],
+            "ph": "X",
+            "ts": round(s["start"] * 1e6, 1),
+            "dur": round(s["duration"] * 1e6, 1),
+            "pid": 1,
+            "tid": tid,
+            "args": {"span_id": s["span_id"],
+                     "parent_id": s["parent_id"], **s["attrs"]},
+        })
+    meta = [{"name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
+             "args": {"name": lane}} for lane, tid in lanes.items()]
+    return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
+
+
+def write_trace(tracer, path: str) -> None:
+    """Write a tracer to ``path``: ``.jsonl`` → JSONL, else Chrome JSON."""
+    if str(path).endswith(".jsonl"):
+        text = to_jsonl(tracer)
+    else:
+        text = json.dumps(to_chrome_trace(tracer), indent=1)
+    with open(path, "w") as handle:
+        handle.write(text)
+
+
+# ---------------------------------------------------------------------------
+# Loading (the `repro stats` report command)
+# ---------------------------------------------------------------------------
+
+def read_trace(path: str) -> Dict[str, Any]:
+    """Load a trace file (either serialized form) back into
+    ``{"spans": [...], "metrics": {...}}``."""
+    with open(path) as handle:
+        text = handle.read()
+    stripped = text.lstrip()
+    if stripped.startswith("{") and '"traceEvents"' in stripped[:200]:
+        return _from_chrome(json.loads(stripped))
+    spans: List[Dict[str, Any]] = []
+    metrics: Dict[str, Any] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        entry = json.loads(line)
+        if entry.get("type") == "span":
+            spans.append({
+                "name": entry["name"], "span_id": entry["span_id"],
+                "parent_id": entry["parent_id"],
+                "lane": entry.get("lane", "main"),
+                "start": entry["start"], "duration": entry["duration"],
+                "attrs": entry.get("attrs", {})})
+        elif entry.get("type") == "metric":
+            key = entry.pop("key")
+            entry.pop("type", None)
+            metrics[key] = entry
+    return {"spans": spans, "metrics": metrics}
+
+
+def _from_chrome(doc: Dict[str, Any]) -> Dict[str, Any]:
+    lanes: Dict[int, str] = {}
+    spans: List[Dict[str, Any]] = []
+    for event in doc.get("traceEvents", []):
+        if event.get("ph") == "M" and event.get("name") == "thread_name":
+            lanes[event["tid"]] = event["args"]["name"]
+    for event in doc.get("traceEvents", []):
+        if event.get("ph") != "X":
+            continue
+        args = dict(event.get("args", {}))
+        spans.append({
+            "name": event["name"],
+            "span_id": args.pop("span_id", 0),
+            "parent_id": args.pop("parent_id", 0),
+            "lane": lanes.get(event.get("tid"), "main"),
+            "start": event["ts"] / 1e6,
+            "duration": event.get("dur", 0) / 1e6,
+            "attrs": args})
+    return {"spans": spans, "metrics": {}}

@@ -1,0 +1,215 @@
+"""Metrics registry: counters, gauges and histograms with labels.
+
+Spans answer "where did the time go"; metrics answer "how much work was
+done" — conflicts, propagations, CNF variables and clauses per module,
+learned-clause deletions.  Instruments are keyed by name plus a sorted
+label tuple (``counter("cnf.vars", module="network")``), mirroring the
+Prometheus data model so the JSONL export is mechanically convertible.
+
+Registries are mergeable: process-pool workers snapshot their registry
+and the parent folds it in at join (counters add, gauges take the last
+written value, histograms combine their moments).  A null registry backs
+the disabled-tracing mode; it hands out shared do-nothing instruments.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "NullRegistry", "NULL_REGISTRY"]
+
+_Key = Tuple[str, Tuple[Tuple[str, Any], ...]]
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"value": self.value}
+
+    def merge(self, data: Dict[str, Any]) -> None:
+        self.value += data.get("value", 0)
+
+
+class Gauge:
+    """Last-written value (e.g. current learned-clause count)."""
+
+    __slots__ = ("value",)
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"value": self.value}
+
+    def merge(self, data: Dict[str, Any]) -> None:
+        self.value = data.get("value", self.value)
+
+
+class Histogram:
+    """Streaming distribution summary: count / sum / min / max.
+
+    Moments only — no bucket boundaries to choose, constant memory, and
+    exact mergeability across processes; enough to report mean solve
+    time and worst-case outliers in the phase table.
+    """
+
+    __slots__ = ("count", "total", "min", "max")
+
+    kind = "histogram"
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        out = {"count": self.count, "sum": self.total}
+        if self.count:
+            out["min"] = self.min
+            out["max"] = self.max
+        return out
+
+    def merge(self, data: Dict[str, Any]) -> None:
+        self.count += data.get("count", 0)
+        self.total += data.get("sum", 0.0)
+        if "min" in data and data["min"] < self.min:
+            self.min = data["min"]
+        if "max" in data and data["max"] > self.max:
+            self.max = data["max"]
+
+
+class _NullInstrument:
+    """Shared sink standing in for every instrument while tracing is off."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        return None
+
+    def set(self, value: float) -> None:
+        return None
+
+    def observe(self, value: float) -> None:
+        return None
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Name+labels → instrument, with snapshot/merge for pool workers."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._instruments: Dict[_Key, Any] = {}
+
+    def _get(self, cls, name: str, labels: Dict[str, Any]):
+        key = (name, tuple(sorted(labels.items())))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = cls()
+            self._instruments[key] = instrument
+        elif not isinstance(instrument, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}")
+        return instrument
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    # -- snapshot / merge ----------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready dump: ``{"name{k=v,...}": {kind, ...values}}``."""
+        out: Dict[str, Any] = {}
+        for (name, labels), instrument in sorted(self._instruments.items()):
+            if labels:
+                label_text = ",".join(f"{k}={v}" for k, v in labels)
+                key = f"{name}{{{label_text}}}"
+            else:
+                key = name
+            entry = {"kind": instrument.kind, "name": name,
+                     "labels": dict(labels)}
+            entry.update(instrument.snapshot())
+            out[key] = entry
+        return out
+
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        for entry in snapshot.values():
+            cls = _KINDS.get(entry.get("kind"))
+            if cls is None:
+                continue
+            labels = entry.get("labels", {})
+            self._get(cls, entry["name"], labels).merge(entry)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+
+class NullRegistry:
+    """Disabled registry: hands out the shared no-op instrument."""
+
+    enabled = False
+
+    def counter(self, name: str, **labels: Any) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, **labels: Any) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, **labels: Any) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {}
+
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        return None
+
+    def __len__(self) -> int:
+        return 0
+
+
+NULL_REGISTRY = NullRegistry()

@@ -1,0 +1,316 @@
+"""Hierarchical spans: the timing backbone of the pipeline telemetry.
+
+A :class:`Span` measures one phase of work (parse, encode, bit-blast,
+solve, ...) as a context manager.  Spans nest: entering a span pushes it
+onto a per-thread stack, so a span opened while another is active becomes
+its child and the finished trace is a forest that exporters can render as
+a phase-breakdown table or a Chrome trace-event file.
+
+Design constraints, in order:
+
+* **Zero-overhead when off.**  Instrumentation points deep in the solver
+  call the module-level :func:`span`; with no tracer installed this
+  returns a shared no-op span — one global read and one call, no
+  allocation, no clock read.
+* **Thread safety.**  The active-span stack is ``threading.local``, so
+  spans opened on different threads never see each other as parents;
+  finished spans are appended to one list (atomic under the GIL).
+* **Process-pool safety.**  Workers cannot append to the parent's list.
+  A worker builds its own :class:`Tracer`, ships ``tracer.export()``
+  (plain dicts, picklable) back with its results, and the parent calls
+  :meth:`Tracer.merge` at join time; merged spans are re-parented under
+  the parent's current span and tagged with the worker's lane so batch
+  groups show up as parallel lanes in a Chrome trace.
+
+Clocks: durations come from ``perf_counter``; each tracer also records a
+wall-clock epoch so merged traces from different processes line up on one
+absolute timeline.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+import time
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "active",
+    "enable",
+    "disable",
+    "span",
+    "use",
+    "metrics",
+]
+
+
+class Span:
+    """One timed phase.  Use as a context manager; re-use is not allowed.
+
+    ``attrs`` carries structured annotations (router name, vars/clauses
+    deltas, SAT outcome, ...) that exporters surface as Chrome-trace
+    ``args`` and JSONL fields.  :meth:`set` annotates after entry —
+    typically with quantities only known once the work ran.
+    """
+
+    __slots__ = ("tracer", "name", "attrs", "span_id", "parent_id",
+                 "lane", "start", "end")
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 attrs: Optional[Dict[str, Any]] = None) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.attrs: Dict[str, Any] = attrs or {}
+        self.span_id = 0
+        self.parent_id = 0
+        self.lane = tracer.lane
+        self.start = 0.0
+        self.end = 0.0
+
+    # -- annotations ----------------------------------------------------
+
+    def set(self, **attrs: Any) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    @property
+    def duration(self) -> float:
+        """Seconds between entry and exit (0.0 while still open)."""
+        if not self.end:
+            return 0.0
+        return self.end - self.start
+
+    # -- context manager ------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        self.tracer._push(self)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.end = time.perf_counter()
+        if exc_type is not None:
+            # Record the failure but never swallow it: a raise inside a
+            # span must still close every enclosing span on the way out.
+            self.attrs.setdefault("error", exc_type.__name__)
+        self.tracer._pop(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        ms = self.duration * 1e3
+        return f"<Span {self.name} {ms:.2f}ms {self.attrs}>"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Picklable snapshot (the worker-to-parent wire format)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "lane": self.lane,
+            "start": self.start - self.tracer.t0,
+            "duration": self.duration,
+            "attrs": dict(self.attrs),
+        }
+
+
+class _NullSpan:
+    """Shared do-nothing span handed out while tracing is disabled."""
+
+    __slots__ = ()
+    duration = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects finished spans (and metrics) for one process.
+
+    A tracer is cheap to construct; the verifier builds a throwaway one
+    per query when no global tracer is installed so result statistics
+    always come from the same span machinery that feeds trace files.
+    """
+
+    enabled = True
+
+    def __init__(self, lane: str = "main") -> None:
+        from .metrics import MetricsRegistry
+
+        self.lane = lane
+        self.pid = os.getpid()
+        # Epoch pairing: spans are timed with perf_counter; t0/wall_t0
+        # let exporters place them on an absolute timeline and line up
+        # traces merged from other processes.
+        self.t0 = time.perf_counter()
+        self.wall_t0 = time.time()
+        self.metrics = MetricsRegistry()
+        self._finished: List[Dict[str, Any]] = []
+        self._next_id = 0
+        self._local = threading.local()
+        self._id_lock = threading.Lock()
+
+    # -- span lifecycle -------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        return Span(self, name, attrs or None)
+
+    def current(self) -> Optional[Span]:
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    def _push(self, sp: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        with self._id_lock:
+            self._next_id += 1
+            sp.span_id = self._next_id
+        if stack:
+            sp.parent_id = stack[-1].span_id
+        thread = threading.current_thread()
+        if thread is not threading.main_thread():
+            sp.lane = f"{self.lane}/{thread.name}"
+        stack.append(sp)
+
+    def _pop(self, sp: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        # Pop down to (and including) this span even if inner spans were
+        # leaked open — exception safety must not corrupt the stack.
+        while stack:
+            top = stack.pop()
+            if top is sp:
+                break
+        self._finished.append(sp.to_dict())
+
+    # -- results --------------------------------------------------------
+
+    @property
+    def spans(self) -> List[Dict[str, Any]]:
+        """Finished spans, oldest-exit first (dict snapshots)."""
+        return list(self._finished)
+
+    def export(self) -> Dict[str, Any]:
+        """Everything a worker ships back to the parent process."""
+        return {
+            "lane": self.lane,
+            "pid": self.pid,
+            "wall_t0": self.wall_t0,
+            "spans": self.spans,
+            "metrics": self.metrics.snapshot(),
+        }
+
+    def merge(self, payload: Dict[str, Any],
+              lane: Optional[str] = None) -> None:
+        """Fold a worker's :meth:`export` payload into this tracer.
+
+        Span ids are rebased to stay unique; worker root spans (parent 0)
+        are re-parented under this thread's current span; start offsets
+        are shifted by the wall-clock skew between the two tracers so the
+        merged trace shares one timeline.
+        """
+        spans = payload.get("spans", [])
+        if spans:
+            with self._id_lock:
+                base = self._next_id
+                self._next_id += max(s["span_id"] for s in spans)
+            current = self.current()
+            anchor = current.span_id if current is not None else 0
+            shift = payload.get("wall_t0", self.wall_t0) - self.wall_t0
+            worker_lane = lane or payload.get("lane") or "worker"
+            for s in spans:
+                merged = dict(s)
+                merged["span_id"] = s["span_id"] + base
+                merged["parent_id"] = (s["parent_id"] + base
+                                       if s["parent_id"] else anchor)
+                merged["start"] = s["start"] + shift
+                merged["lane"] = worker_lane
+                self._finished.append(merged)
+        self.metrics.merge(payload.get("metrics", {}))
+
+
+class NullTracer:
+    """Disabled tracer: every operation is a no-op."""
+
+    enabled = False
+    lane = "off"
+
+    def __init__(self) -> None:
+        from .metrics import NULL_REGISTRY
+
+        self.metrics = NULL_REGISTRY
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def current(self) -> None:
+        return None
+
+    @property
+    def spans(self) -> List[Dict[str, Any]]:
+        return []
+
+    def export(self) -> Dict[str, Any]:
+        return {"lane": self.lane, "spans": [], "metrics": {}}
+
+    def merge(self, payload: Dict[str, Any],
+              lane: Optional[str] = None) -> None:
+        return None
+
+
+NULL_TRACER = NullTracer()
+
+_active = NULL_TRACER
+
+
+def active():
+    """The installed tracer (the shared :data:`NULL_TRACER` when off)."""
+    return _active
+
+
+def enable(tracer: Optional[Tracer] = None) -> Tracer:
+    """Install ``tracer`` (or a fresh one) as the process-wide tracer."""
+    global _active
+    _active = tracer or Tracer()
+    return _active
+
+
+def disable() -> None:
+    """Remove the installed tracer; :func:`span` becomes a no-op again."""
+    global _active
+    _active = NULL_TRACER
+
+
+def span(name: str, **attrs: Any):
+    """Open a span on the active tracer (no-op while tracing is off)."""
+    return _active.span(name, **attrs)
+
+
+def metrics():
+    """The active tracer's metrics registry (null sink while off)."""
+    return _active.metrics
+
+
+@contextlib.contextmanager
+def use(tracer) -> Iterator:
+    """Temporarily install ``tracer``; always restores the previous one."""
+    global _active
+    previous = _active
+    _active = tracer
+    try:
+        yield tracer
+    finally:
+        _active = previous

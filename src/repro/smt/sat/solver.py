@@ -15,7 +15,7 @@ property uses for its lazy linear-arithmetic refinement loop.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 __all__ = ["SatSolver"]
 
@@ -157,6 +157,25 @@ class SatSolver:
         self.propagations = 0
         self.restarts = 0
         self.learned_deleted = 0
+        # Progress sampling: every ``progress_interval`` conflicts the
+        # search calls ``progress_hook(stats_snapshot)``.  This is how
+        # the telemetry layer watches long solves from the outside
+        # (conflict-budget burn-down for UNKNOWN diagnostics) without
+        # touching the inner loop when disabled.
+        self.progress_hook: Optional[Callable[[Dict[str, int]], None]] = None
+        self.progress_interval = 0
+
+    def stats(self) -> Dict[str, int]:
+        """Snapshot of the search counters (all monotone except
+        ``learned``, the live learned-clause count)."""
+        return {
+            "conflicts": self.conflicts,
+            "decisions": self.decisions,
+            "propagations": self.propagations,
+            "restarts": self.restarts,
+            "learned": len(self._learnts),
+            "learned_deleted": self.learned_deleted,
+        }
 
     # ------------------------------------------------------------------
     # Variables and clauses
@@ -549,11 +568,20 @@ class SatSolver:
         conflicts_here = 0
         max_learnts = max(2000, len(self._clauses) // 2)
 
+        progress_interval = self.progress_interval
+        progress_hook = self.progress_hook
+
         while True:
             conflict = self._propagate()
             if conflict is not None:
                 self.conflicts += 1
                 conflicts_here += 1
+                if (progress_interval and progress_hook is not None
+                        and self.conflicts % progress_interval == 0):
+                    snapshot = self.stats()
+                    if budget_left is not None:
+                        snapshot["budget_left"] = budget_left
+                    progress_hook(snapshot)
                 if budget_left is not None:
                     budget_left -= 1
                     if budget_left <= 0:

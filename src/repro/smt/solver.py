@@ -18,6 +18,7 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional, Sequence, Union
 
+from repro import obs
 from .bitblast import Blaster
 from .evaluator import evaluate
 from .sat import SatSolver
@@ -85,9 +86,13 @@ class Solver:
     Args:
         conflict_budget: optional per-check CDCL conflict cap; exceeded
             checks return :data:`UNKNOWN`.
+        progress_interval: sample the CDCL counters every N conflicts
+            during :meth:`check` (see ``last_check_progress``); 0 turns
+            sampling off entirely.
     """
 
-    def __init__(self, conflict_budget: Optional[int] = None) -> None:
+    def __init__(self, conflict_budget: Optional[int] = None,
+                 progress_interval: int = 4096) -> None:
         self._blaster = Blaster()
         self._cnf = CnfBuilder()
         self._sat = SatSolver()
@@ -98,19 +103,40 @@ class Solver:
         # don't re-blast or re-emit gate clauses per call.
         self._assumption_lit_cache: Dict[int, int] = {}
         self.conflict_budget = conflict_budget
+        self.progress_interval = progress_interval
         self.last_check_seconds = 0.0
         self.last_check_conflicts = 0
+        # Periodic CDCL snapshots from the most recent check — the data
+        # behind conflict-budget burn-down diagnostics on UNKNOWN.
+        self.last_check_progress: List[Dict[str, int]] = []
 
     # ------------------------------------------------------------------
 
-    def add(self, *terms: Term) -> None:
-        """Assert one or more boolean terms."""
-        for term in terms:
-            if not term.is_bool:
-                raise TypeError("assertions must be boolean terms")
-            self._assertions.append(term)
-            blasted = self._blaster.blast(term)
-            self._cnf.assert_term(blasted)
+    def add(self, *terms: Term, label: str = "") -> None:
+        """Assert one or more boolean terms.
+
+        ``label`` attributes the CNF growth (variables/clauses) of this
+        batch of assertions to a pipeline module — ``network``,
+        ``property``, ``instrumentation``, ... — in the telemetry layer.
+        """
+        with obs.span("smt.add", module=label, terms=len(terms)) as sp:
+            vars_before = self._cnf.num_vars
+            clauses_before = len(self._cnf.clauses)
+            for term in terms:
+                if not term.is_bool:
+                    raise TypeError("assertions must be boolean terms")
+                self._assertions.append(term)
+                blasted = self._blaster.blast(term)
+                self._cnf.assert_term(blasted)
+            dv = self._cnf.num_vars - vars_before
+            dc = len(self._cnf.clauses) - clauses_before
+            sp.set(vars=dv, clauses=dc)
+            if dv or dc:
+                metrics = obs.metrics()
+                metrics.counter("cnf.vars",
+                                module=label or "unattributed").inc(dv)
+                metrics.counter("cnf.clauses",
+                                module=label or "unattributed").inc(dc)
 
     def assertions(self) -> List[Term]:
         return list(self._assertions)
@@ -125,24 +151,52 @@ class Solver:
         polarities (it may be assumed either way across calls); the
         mapping is cached per term so repeated batch checks are cheap.
         """
-        assumption_lits = []
-        for term in assumptions:
-            lit = self._assumption_lit_cache.get(term.tid)
-            if lit is None:
-                blasted = self._blaster.blast(term)
-                lit = self._cnf.literal_for(blasted)
-                self._assumption_lit_cache[term.tid] = lit
-            assumption_lits.append(lit)
-        self._load_clauses()
-        start = time.perf_counter()
-        conflicts_before = self._sat.conflicts
-        outcome = self._sat.solve(assumption_lits,
-                                  conflict_budget=self.conflict_budget)
-        self.last_check_seconds = time.perf_counter() - start
-        self.last_check_conflicts = self._sat.conflicts - conflicts_before
-        if outcome is None:
-            return UNKNOWN
-        return SAT if outcome else UNSAT
+        with obs.span("smt.assume", terms=len(assumptions)):
+            assumption_lits = []
+            for term in assumptions:
+                lit = self._assumption_lit_cache.get(term.tid)
+                if lit is None:
+                    blasted = self._blaster.blast(term)
+                    lit = self._cnf.literal_for(blasted)
+                    self._assumption_lit_cache[term.tid] = lit
+                assumption_lits.append(lit)
+        with obs.span("sat.load") as sp_load:
+            loaded_from = self._num_clauses_loaded
+            self._load_clauses()
+            sp_load.set(clauses=self._num_clauses_loaded - loaded_from)
+        progress = self.last_check_progress = []
+        sat = self._sat
+        if self.progress_interval:
+            sat.progress_interval = self.progress_interval
+            sat.progress_hook = progress.append
+        with obs.span("sat.solve", assumptions=len(assumption_lits)) as sp:
+            before = sat.stats()
+            start = time.perf_counter()
+            outcome = sat.solve(assumption_lits,
+                                conflict_budget=self.conflict_budget)
+            self.last_check_seconds = time.perf_counter() - start
+            after = sat.stats()
+            sat.progress_hook = None
+            self.last_check_conflicts = (after["conflicts"]
+                                         - before["conflicts"])
+            result = (UNKNOWN if outcome is None
+                      else SAT if outcome else UNSAT)
+            sp.set(outcome=result.name,
+                   conflicts=self.last_check_conflicts,
+                   decisions=after["decisions"] - before["decisions"],
+                   propagations=(after["propagations"]
+                                 - before["propagations"]),
+                   restarts=after["restarts"] - before["restarts"])
+            metrics = obs.metrics()
+            if metrics.enabled:
+                for key in ("conflicts", "decisions", "propagations",
+                            "restarts", "learned_deleted"):
+                    metrics.counter(f"sat.{key}").inc(after[key]
+                                                      - before[key])
+                metrics.gauge("sat.learned").set(after["learned"])
+                metrics.histogram("sat.solve_seconds").observe(
+                    self.last_check_seconds)
+        return result
 
     def model(self) -> Model:
         """Model of the most recent :data:`SAT` check."""
@@ -176,14 +230,10 @@ class Solver:
 
     @property
     def stats(self) -> Dict[str, int]:
-        return {
-            "vars": self._cnf.num_vars,
-            "clauses": len(self._cnf.clauses),
-            "conflicts": self._sat.conflicts,
-            "decisions": self._sat.decisions,
-            "propagations": self._sat.propagations,
-            "restarts": self._sat.restarts,
-        }
+        out = {"vars": self._cnf.num_vars,
+               "clauses": len(self._cnf.clauses)}
+        out.update(self._sat.stats())
+        return out
 
     def _load_clauses(self) -> None:
         clauses = self._cnf.clauses

@@ -152,3 +152,51 @@ class TestSimulate:
                      "--fail", "R1", "R3"])
         assert code == 0
         assert "R1 -> R2 -> R3" in capsys.readouterr().out
+
+
+class TestObservability:
+    def test_verify_stats_line(self, config_dir, capsys):
+        code = main(["verify", config_dir, "reachability",
+                     "--dest-prefix", "10.9.0.0/24", "--stats"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "clauses=" in out
+        assert "shared=" in out and "query=" in out
+
+    def test_verify_trace_and_profile(self, config_dir, tmp_path, capsys):
+        trace = tmp_path / "run.trace.json"
+        code = main(["verify", config_dir, "loops",
+                     "--trace", str(trace), "--profile"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "phase breakdown" in out
+        assert "verify.encode" in out
+        assert trace.exists()
+        import json
+        doc = json.loads(trace.read_text())
+        assert doc["traceEvents"]
+
+    def test_batch_trace_jsonl_and_stats_command(self, config_dir,
+                                                 tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        code = main(["verify-batch", config_dir,
+                     "--property", "loops", "--property", "blackholes",
+                     "--dest-prefix", "10.9.0.0/24",
+                     "--trace", str(trace), "--stats"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shared=" in out   # same stats line as single verify
+        assert trace.exists()
+        assert main(["stats", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "phase breakdown" in out
+        assert "batch.query" in out
+        assert "cnf.clauses{module=network}" in out
+
+    def test_stats_command_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json at all")
+        with pytest.raises(SystemExit):
+            main(["stats", str(bad)])
+        with pytest.raises(SystemExit):
+            main(["stats", str(tmp_path / "missing.json")])

@@ -229,3 +229,54 @@ class TestStats:
             P.Reachability(sources="all", dest_prefix_text="10.9.0.0/24"),
         ])
         assert len(results) == 1 and results[0].holds is True
+
+    def test_shared_encoding_attribution(self):
+        """The one-time shared encoding is amortized evenly across a
+        group, per-query cost is separate, and encode_seconds is exactly
+        their sum — so group totals add up without double-counting."""
+        network = ospf_chain(3)
+        queries = [
+            BatchQuery(P.Reachability(sources="all",
+                                      dest_prefix_text="10.9.0.0/24")),
+            BatchQuery(P.NoBlackHoles(dest_prefix_text="10.9.0.0/24")),
+            BatchQuery(P.NoForwardingLoops(
+                dest_prefix_text="10.9.0.0/24")),
+        ]
+        results = verify_batch(network, queries)  # one group (same key)
+        shares = {r.encode_shared_seconds for r in results}
+        assert len(shares) == 1, "equal amortized share per group member"
+        assert shares.pop() > 0
+        for r in results:
+            assert r.encode_query_seconds >= 0
+            assert r.encode_seconds == pytest.approx(
+                r.encode_shared_seconds + r.encode_query_seconds)
+            assert r.seconds >= r.encode_shared_seconds
+
+    def test_group_encode_totals_sum_to_actual_cost(self):
+        """Summing encode_seconds across a group equals shared cost plus
+        the per-query costs (no shared time counted twice)."""
+        from repro import obs
+
+        network = ospf_chain(3)
+        queries = [
+            BatchQuery(P.Reachability(sources="all",
+                                      dest_prefix_text="10.9.0.0/24")),
+            BatchQuery(P.NoBlackHoles(dest_prefix_text="10.9.0.0/24")),
+        ]
+        tracer = obs.Tracer()
+        with obs.use(tracer):
+            results = verify_batch(network, queries)
+        shared_spans = sum(s["duration"] for s in tracer.spans
+                           if s["name"] == "verify.encode")
+        query_spans = sum(s["duration"] for s in tracer.spans
+                          if s["name"] == "verify.property")
+        total = sum(r.encode_seconds for r in results)
+        assert total == pytest.approx(shared_spans + query_spans)
+
+    def test_standalone_verify_shared_is_full_network_encoding(self):
+        network = ospf_chain(3)
+        result = Verifier(network).verify(
+            P.Reachability(sources="all", dest_prefix_text="10.9.0.0/24"))
+        assert result.encode_shared_seconds > 0
+        assert result.encode_seconds == pytest.approx(
+            result.encode_shared_seconds + result.encode_query_seconds)

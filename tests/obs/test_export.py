@@ -1,0 +1,105 @@
+"""Exporters: Chrome trace schema, JSONL round-trip, phase table."""
+
+import json
+
+from repro import obs
+from repro.obs import export
+
+
+def _sample_tracer():
+    tracer = obs.Tracer()
+    with tracer.span("batch.run", queries=2):
+        with tracer.span("verify.encode"):
+            pass
+        with tracer.span("verify.solve", outcome="unsat"):
+            pass
+    tracer.metrics.counter("cnf.vars", module="network").inc(42)
+    tracer.metrics.histogram("solve_seconds").observe(0.5)
+    return tracer
+
+
+def test_chrome_trace_schema():
+    tracer = _sample_tracer()
+    doc = export.to_chrome_trace(tracer)
+    events = doc["traceEvents"]
+    complete = [e for e in events if e["ph"] == "X"]
+    meta = [e for e in events if e["ph"] == "M"]
+    assert len(complete) == len(tracer.spans)
+    for e in complete:
+        assert set(e) >= {"name", "cat", "ph", "ts", "dur", "pid",
+                          "tid", "args"}
+        assert isinstance(e["ts"], (int, float))
+        assert e["dur"] >= 0
+        assert "span_id" in e["args"] and "parent_id" in e["args"]
+    assert meta and all(e["name"] == "thread_name" for e in meta)
+    # Category is the span-name prefix; attrs ride in args.
+    solve = next(e for e in complete if e["name"] == "verify.solve")
+    assert solve["cat"] == "verify"
+    assert solve["args"]["outcome"] == "unsat"
+    json.dumps(doc)  # serializable as-is
+
+
+def test_chrome_trace_round_trip(tmp_path):
+    tracer = _sample_tracer()
+    path = str(tmp_path / "trace.json")
+    export.write_trace(tracer, path)
+    loaded = export.read_trace(path)
+    assert len(loaded["spans"]) == len(tracer.spans)
+    by_name = {s["name"]: s for s in loaded["spans"]}
+    orig = {s["name"]: s for s in tracer.spans}
+    for name, s in by_name.items():
+        assert s["parent_id"] == orig[name]["parent_id"]
+        # µs rounding: within 1µs of the original.
+        assert abs(s["duration"] - orig[name]["duration"]) < 2e-6
+
+
+def test_jsonl_round_trip(tmp_path):
+    tracer = _sample_tracer()
+    path = str(tmp_path / "trace.jsonl")
+    export.write_trace(tracer, path)
+    lines = [json.loads(line)
+             for line in open(path) if line.strip()]
+    assert lines[0]["type"] == "meta"
+    loaded = export.read_trace(path)
+    assert len(loaded["spans"]) == len(tracer.spans)
+    assert {s["name"] for s in loaded["spans"]} == \
+        {s["name"] for s in tracer.spans}
+    # JSONL keeps metrics; key format matches the registry snapshot.
+    assert loaded["metrics"]["cnf.vars{module=network}"]["value"] == 42
+    assert loaded["metrics"]["solve_seconds"]["count"] == 1
+
+
+def test_phase_table_self_time_and_counts():
+    tracer = obs.Tracer()
+    with tracer.span("parent"):
+        with tracer.span("child"):
+            pass
+        with tracer.span("child"):
+            pass
+    text = export.phase_table(tracer)
+    lines = text.splitlines()
+    assert "phase breakdown" in lines[0]
+    child_row = next(ln for ln in lines if ln.startswith("child"))
+    parent_row = next(ln for ln in lines if ln.startswith("parent"))
+    assert child_row.split()[1] == "2"   # count
+    assert parent_row.split()[1] == "1"
+    # Parent self-time excludes its children: self <= total.
+    p = parent_row.split()
+    assert float(p[3]) <= float(p[2])
+
+
+def test_phase_table_empty_and_dict_sources():
+    assert "(no spans recorded)" in export.phase_table(obs.Tracer())
+    tracer = _sample_tracer()
+    doc = {"spans": tracer.spans, "metrics": {}}
+    assert export.phase_table(doc) == export.phase_table(tracer)
+
+
+def test_metrics_table_accepts_tracer_registry_and_snapshot():
+    tracer = _sample_tracer()
+    text = export.metrics_table(tracer)
+    assert "cnf.vars{module=network}" in text
+    assert "42" in text
+    assert export.metrics_table(tracer.metrics) == text
+    assert export.metrics_table(tracer.metrics.snapshot()) == text
+    assert "(no metrics recorded)" in export.metrics_table({})

@@ -1,0 +1,98 @@
+"""Metrics registry: instruments, labels, snapshot/merge, null mode."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, NULL_REGISTRY
+
+
+def test_counter_accumulates_and_rejects_negatives():
+    reg = MetricsRegistry()
+    c = reg.counter("sat.conflicts")
+    c.inc()
+    c.inc(4)
+    assert reg.counter("sat.conflicts").value == 5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_gauge_keeps_last_value():
+    reg = MetricsRegistry()
+    g = reg.gauge("sat.learned")
+    g.set(10)
+    g.set(3)
+    assert reg.gauge("sat.learned").value == 3
+
+
+def test_histogram_moments_and_mean():
+    reg = MetricsRegistry()
+    h = reg.histogram("solve_seconds")
+    for v in (1.0, 2.0, 6.0):
+        h.observe(v)
+    assert h.count == 3
+    assert h.total == 9.0
+    assert h.min == 1.0
+    assert h.max == 6.0
+    assert h.mean == 3.0
+    assert reg.histogram("solve_seconds") is h
+
+
+def test_labels_distinguish_instruments():
+    reg = MetricsRegistry()
+    reg.counter("cnf.vars", module="network").inc(10)
+    reg.counter("cnf.vars", module="property").inc(2)
+    assert reg.counter("cnf.vars", module="network").value == 10
+    assert reg.counter("cnf.vars", module="property").value == 2
+    assert len(reg) == 2
+
+
+def test_kind_conflict_raises():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(TypeError):
+        reg.gauge("x")
+
+
+def test_snapshot_format():
+    reg = MetricsRegistry()
+    reg.counter("cnf.vars", module="network").inc(7)
+    reg.gauge("learned").set(2)
+    snap = reg.snapshot()
+    assert snap["cnf.vars{module=network}"] == {
+        "kind": "counter", "name": "cnf.vars",
+        "labels": {"module": "network"}, "value": 7}
+    assert snap["learned"]["kind"] == "gauge"
+    assert snap["learned"]["value"] == 2
+
+
+def test_merge_combines_by_kind():
+    a = MetricsRegistry()
+    a.counter("conflicts").inc(3)
+    a.gauge("learned").set(1)
+    a.histogram("t").observe(1.0)
+    b = MetricsRegistry()
+    b.counter("conflicts").inc(4)
+    b.gauge("learned").set(9)
+    b.histogram("t").observe(3.0)
+    a.merge(b.snapshot())
+    assert a.counter("conflicts").value == 7       # counters add
+    assert a.gauge("learned").value == 9           # gauges take last
+    h = a.histogram("t")                           # histograms combine
+    assert (h.count, h.total, h.min, h.max) == (2, 4.0, 1.0, 3.0)
+
+
+def test_merge_into_empty_registry():
+    src = MetricsRegistry()
+    src.counter("c", module="x").inc(2)
+    dst = MetricsRegistry()
+    dst.merge(src.snapshot())
+    assert dst.counter("c", module="x").value == 2
+
+
+def test_null_registry_is_inert():
+    before = len(NULL_REGISTRY)
+    NULL_REGISTRY.counter("anything").inc(5)
+    NULL_REGISTRY.gauge("g").set(1)
+    NULL_REGISTRY.histogram("h").observe(2.0)
+    assert len(NULL_REGISTRY) == before == 0
+    assert NULL_REGISTRY.snapshot() == {}
+    assert NULL_REGISTRY.counter("a") is NULL_REGISTRY.counter("b")

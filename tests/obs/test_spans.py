@@ -1,0 +1,174 @@
+"""Span layer: nesting, exception safety, threads, no-op mode, merge."""
+
+import threading
+
+import pytest
+
+from repro import obs
+
+
+def test_span_records_duration_and_attrs():
+    tracer = obs.Tracer()
+    with tracer.span("work", router="r1") as sp:
+        sp.set(clauses=7)
+    spans = tracer.spans
+    assert len(spans) == 1
+    (s,) = spans
+    assert s["name"] == "work"
+    assert s["attrs"] == {"router": "r1", "clauses": 7}
+    assert s["duration"] >= 0.0
+    assert s["span_id"] == 1
+    assert s["parent_id"] == 0
+
+
+def test_nesting_builds_parent_links():
+    tracer = obs.Tracer()
+    with tracer.span("outer"):
+        with tracer.span("middle"):
+            with tracer.span("inner"):
+                pass
+        with tracer.span("sibling"):
+            pass
+    by_name = {s["name"]: s for s in tracer.spans}
+    assert by_name["inner"]["parent_id"] == by_name["middle"]["span_id"]
+    assert by_name["middle"]["parent_id"] == by_name["outer"]["span_id"]
+    assert by_name["sibling"]["parent_id"] == by_name["outer"]["span_id"]
+    assert by_name["outer"]["parent_id"] == 0
+    # Children close before parents.
+    names = [s["name"] for s in tracer.spans]
+    assert names.index("inner") < names.index("middle")
+    assert names.index("middle") < names.index("outer")
+
+
+def test_child_duration_within_parent():
+    tracer = obs.Tracer()
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            pass
+    by_name = {s["name"]: s for s in tracer.spans}
+    assert by_name["inner"]["duration"] <= by_name["outer"]["duration"]
+    assert by_name["inner"]["start"] >= by_name["outer"]["start"]
+
+
+def test_exception_closes_span_and_records_error():
+    tracer = obs.Tracer()
+    with pytest.raises(RuntimeError):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                raise RuntimeError("boom")
+    by_name = {s["name"]: s for s in tracer.spans}
+    assert set(by_name) == {"outer", "inner"}
+    assert by_name["inner"]["attrs"]["error"] == "RuntimeError"
+    assert by_name["outer"]["attrs"]["error"] == "RuntimeError"
+    assert tracer.current() is None  # stack fully unwound
+    # The tracer stays usable afterwards.
+    with tracer.span("after"):
+        pass
+    assert tracer.spans[-1]["name"] == "after"
+    assert tracer.spans[-1]["parent_id"] == 0
+
+
+def test_threads_do_not_share_span_stacks():
+    tracer = obs.Tracer()
+    seen = {}
+
+    def worker():
+        with tracer.span("thread_work") as sp:
+            seen["parent"] = sp.parent_id
+            seen["lane"] = sp.lane
+
+    with tracer.span("main_work"):
+        t = threading.Thread(target=worker, name="w0")
+        t.start()
+        t.join()
+    # The worker span must not adopt the main thread's open span as a
+    # parent, and gets a thread-suffixed lane.
+    assert seen["parent"] == 0
+    assert seen["lane"] == "main/w0"
+
+
+def test_noop_mode_records_nothing():
+    obs.disable()
+    assert obs.active() is obs.NULL_TRACER
+    sp = obs.span("anything", key="value")
+    with sp as inner:
+        inner.set(more="attrs")
+    assert obs.active().spans == []
+    assert obs.span("a") is obs.span("b")  # shared singleton
+    assert sp.duration == 0.0
+
+
+def test_enable_disable_install_and_remove():
+    tracer = obs.enable()
+    try:
+        assert obs.active() is tracer
+        with obs.span("via_module"):
+            pass
+        assert [s["name"] for s in tracer.spans] == ["via_module"]
+    finally:
+        obs.disable()
+    assert obs.active() is obs.NULL_TRACER
+
+
+def test_use_restores_previous_tracer_on_exception():
+    before = obs.active()
+    tracer = obs.Tracer()
+    with pytest.raises(ValueError):
+        with obs.use(tracer):
+            assert obs.active() is tracer
+            raise ValueError
+    assert obs.active() is before
+
+
+def test_export_is_plain_data():
+    import json
+
+    tracer = obs.Tracer(lane="lane-x")
+    with tracer.span("a", n=1):
+        tracer.metrics.counter("c").inc(2)
+    payload = tracer.export()
+    assert payload["lane"] == "lane-x"
+    json.dumps(payload)  # picklable/serializable wire format
+
+
+def test_merge_rebases_ids_reparents_and_tags_lane():
+    worker = obs.Tracer(lane="worker-1")
+    with worker.span("group"):
+        with worker.span("query"):
+            pass
+    worker.metrics.counter("conflicts").inc(5)
+    payload = worker.export()
+
+    parent = obs.Tracer()
+    with parent.span("batch") as root:
+        parent.metrics.counter("conflicts").inc(1)
+        parent.merge(payload)
+    by_name = {s["name"]: s for s in parent.spans}
+    # Worker root re-parented under the parent's open span; the child
+    # keeps pointing at its (rebased) worker parent.
+    assert by_name["group"]["parent_id"] == root.span_id
+    assert by_name["query"]["parent_id"] == by_name["group"]["span_id"]
+    ids = [s["span_id"] for s in parent.spans]
+    assert len(ids) == len(set(ids))
+    assert by_name["group"]["lane"] == "worker-1"
+    assert by_name["query"]["lane"] == "worker-1"
+    assert parent.metrics.counter("conflicts").value == 6
+    # Fresh spans after the merge never collide with merged ids.
+    with parent.span("later"):
+        pass
+    ids = [s["span_id"] for s in parent.spans]
+    assert len(ids) == len(set(ids))
+
+
+def test_merge_aligns_clocks_across_processes():
+    worker = obs.Tracer(lane="w")
+    with worker.span("work"):
+        pass
+    payload = worker.export()
+    # Simulate a worker whose process started 10 wall-clock seconds
+    # earlier: its spans must land 10s earlier on the parent timeline.
+    payload["wall_t0"] -= 10.0
+    parent = obs.Tracer()
+    parent.merge(payload)
+    (merged,) = parent.spans
+    assert merged["start"] < -9.0

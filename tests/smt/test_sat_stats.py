@@ -1,0 +1,116 @@
+"""CDCL stats surface: the stats() snapshot, monotonicity across
+checks, and the periodic progress hook behind budget diagnostics."""
+
+import itertools
+import random
+
+from repro.smt import SAT, Solver, UNKNOWN, UNSAT, bv_val, bv_var, eq
+from repro.smt.sat.solver import SatSolver
+
+STAT_KEYS = {"conflicts", "decisions", "propagations", "restarts",
+             "learned", "learned_deleted"}
+
+
+def _pigeonhole(solver: SatSolver, n: int) -> None:
+    def var(i, j):
+        return i * n + j + 1
+
+    for i in range(n + 1):
+        solver.add_clause([var(i, j) for j in range(n)])
+    for j in range(n):
+        for a, b in itertools.combinations(range(n + 1), 2):
+            solver.add_clause([-var(a, j), -var(b, j)])
+
+
+def test_stats_keys_and_initial_zero():
+    solver = SatSolver()
+    stats = solver.stats()
+    assert set(stats) == STAT_KEYS
+    assert all(v == 0 for v in stats.values())
+
+
+def test_stats_monotone_across_checks():
+    """Cumulative counters never decrease over repeated solves."""
+    rng = random.Random(7)
+    n = 60
+    solver = SatSolver()
+    previous = solver.stats()
+    for round_ in range(3):
+        for _ in range(40):
+            lits = rng.sample(range(1, n + 1), 3)
+            solver.add_clause([lit if rng.random() < 0.5 else -lit
+                               for lit in lits])
+        assert solver.solve() in (True, False)
+        current = solver.stats()
+        for key in ("conflicts", "decisions", "propagations",
+                    "restarts", "learned_deleted"):
+            assert current[key] >= previous[key], key
+        previous = current
+
+
+def test_deletion_and_restart_counts_surface():
+    solver = SatSolver()
+    _pigeonhole(solver, 7)
+    assert solver.solve() is False
+    stats = solver.stats()
+    assert stats["conflicts"] > 100
+    assert stats["learned"] >= 0
+    assert stats["learned_deleted"] >= 0
+
+
+def test_progress_hook_fires_and_snapshots_grow():
+    solver = SatSolver()
+    _pigeonhole(solver, 7)
+    samples = []
+    solver.progress_interval = 50
+    solver.progress_hook = samples.append
+    assert solver.solve() is False
+    assert len(samples) >= 2
+    for sample in samples:
+        assert set(sample) == STAT_KEYS
+    conflicts = [s["conflicts"] for s in samples]
+    assert conflicts == sorted(conflicts)
+    assert all(c % 50 == 0 for c in conflicts)
+
+
+def test_facade_stats_expose_sat_counters():
+    solver = Solver()
+    x = bv_var("x", 8)
+    solver.add(eq(x, bv_val(3, 8)))
+    assert solver.check() is SAT
+    stats = solver.stats
+    assert stats["vars"] > 0 and stats["clauses"] > 0
+    assert STAT_KEYS <= set(stats)
+
+
+def test_facade_progress_feeds_budget_diagnostics():
+    from repro.smt.terms import and_, bool_var, not_, or_
+
+    solver = Solver(conflict_budget=60, progress_interval=25)
+    # Pigeonhole via the term language: 5 pigeons, 4 holes.
+    holes = 4
+    bits = [[bool_var(f"p{i}_{j}") for j in range(holes)]
+            for i in range(holes + 1)]
+    for row in bits:
+        solver.add(or_(*row))
+    for j in range(holes):
+        for a in range(holes + 1):
+            for b in range(a + 1, holes + 1):
+                solver.add(not_(and_(bits[a][j], bits[b][j])))
+    outcome = solver.check()
+    if outcome is UNKNOWN:
+        assert solver.last_check_progress, "samples collected"
+        last = solver.last_check_progress[-1]
+        assert last["budget_left"] >= 0
+    else:
+        assert outcome is UNSAT
+
+
+def test_progress_interval_zero_disables_sampling():
+    solver = SatSolver()
+    _pigeonhole(solver, 6)
+    fired = []
+    solver.progress_interval = 0
+    solver.progress_hook = fired.append
+    assert solver.solve() is False
+    assert fired == []

@@ -1,8 +1,10 @@
 .PHONY: install test bench tables tables-full examples check clean \
 	analyze lint
 
+# Dev extras pull in pytest-benchmark (which `make bench` needs) and
+# ruff, so a fresh clone gets a working toolchain from one command.
 install:
-	pip install -e .
+	pip install -e ".[dev]"
 
 test:
 	pytest tests/
@@ -34,6 +36,7 @@ check: lint analyze
 	PYTHONPATH=src:. python benchmarks/run_batch_smoke.py
 	PYTHONPATH=src:. python benchmarks/run_analysis_smoke.py
 	PYTHONPATH=src:. python benchmarks/run_obs_smoke.py
+	PYTHONPATH=src:. python benchmarks/run_preprocess_smoke.py --pods 2
 
 # Regenerate every table/figure of the paper's evaluation (quick subset).
 tables:

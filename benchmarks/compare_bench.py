@@ -1,0 +1,168 @@
+"""Bench-regression gate: compare fresh BENCH_*.json against baselines.
+
+CI runs the smoke benchmarks (``run_batch_smoke``, ``run_obs_smoke``,
+``run_preprocess_smoke``) on every push, then calls this script to
+diff the fresh ``BENCH_<name>.json`` files at the repo root against
+the committed snapshots in ``benchmarks/baselines/``.  Only
+ratio-style metrics are gated — speedups, overhead percentages,
+reduction percentages — never raw seconds, which vary with the
+runner.  Each gate has a tolerance band sized for CI noise; a fresh
+value outside the band fails the job.
+
+Usage::
+
+    python benchmarks/compare_bench.py            # gate, exit 1 on fail
+    python benchmarks/compare_bench.py --update   # rebaseline
+
+After an intentional performance change, run the smokes locally, then
+``--update`` and commit the refreshed baselines with the change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+from dataclasses import dataclass
+from typing import Optional
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE_DIR = os.path.join(ROOT, "benchmarks", "baselines")
+BENCHES = ("batch", "obs", "preprocess")
+
+
+@dataclass
+class Gate:
+    """One gated metric with its tolerance band.
+
+    ``higher_better`` picks the failing direction; the band is
+    ``rel_tol`` (fraction of the baseline value) or ``abs_tol`` (same
+    unit as the metric), whichever is looser.  ``floor`` and
+    ``ceiling`` are hard limits applied regardless of the baseline —
+    the acceptance criteria themselves.
+    """
+
+    bench: str
+    metric: str
+    higher_better: bool
+    rel_tol: float = 0.0
+    abs_tol: float = 0.0
+    floor: Optional[float] = None
+    ceiling: Optional[float] = None
+
+    def allowed(self, baseline: float) -> float:
+        slack = max(abs(baseline) * self.rel_tol, self.abs_tol)
+        if self.higher_better:
+            bound = baseline - slack
+            if self.floor is not None:
+                bound = max(bound, self.floor)
+        else:
+            bound = baseline + slack
+            if self.ceiling is not None:
+                bound = min(bound, self.ceiling)
+        return bound
+
+    def passes(self, fresh: float, baseline: float) -> bool:
+        bound = self.allowed(baseline)
+        return fresh >= bound if self.higher_better else fresh <= bound
+
+
+# Timing-derived ratios (speedup, overhead, solve ratio) get wide
+# bands: shared CI runners are noisy.  Clause reduction is
+# deterministic for a fixed encoding, so its band is tight and it
+# additionally carries the >= 20% acceptance floor.
+GATES = [
+    Gate("batch", "speedup", True, rel_tol=0.65, floor=1.5),
+    Gate("obs", "overhead_pct", False, abs_tol=15.0, ceiling=25.0),
+    Gate("preprocess", "clause_reduction_pct", True, abs_tol=2.0, floor=20.0),
+    Gate("preprocess", "solve_ratio", True, rel_tol=0.5),
+]
+
+
+def _load(path: str) -> dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def _fresh_path(bench: str) -> str:
+    return os.path.join(ROOT, f"BENCH_{bench}.json")
+
+
+def _baseline_path(bench: str) -> str:
+    return os.path.join(BASELINE_DIR, f"BENCH_{bench}.json")
+
+
+def update() -> int:
+    os.makedirs(BASELINE_DIR, exist_ok=True)
+    for bench in BENCHES:
+        fresh = _fresh_path(bench)
+        if not os.path.exists(fresh):
+            print(
+                f"missing {fresh}; run the {bench} smoke first",
+                file=sys.stderr,
+            )
+            return 1
+        shutil.copyfile(fresh, _baseline_path(bench))
+        print(f"rebaselined {bench} from {os.path.basename(fresh)}")
+    return 0
+
+
+def compare() -> int:
+    failures = 0
+    rows = []
+    for gate in GATES:
+        fresh_doc = _load(_fresh_path(gate.bench))
+        base_doc = _load(_baseline_path(gate.bench))
+        if fresh_doc.get("pods") != base_doc.get("pods"):
+            print(
+                f"{gate.bench}: fresh pods={fresh_doc.get('pods')} vs "
+                f"baseline pods={base_doc.get('pods')} — rerun the "
+                "smoke at the baseline configuration",
+                file=sys.stderr,
+            )
+            failures += 1
+            continue
+        fresh = float(fresh_doc[gate.metric])
+        baseline = float(base_doc[gate.metric])
+        ok = gate.passes(fresh, baseline)
+        if not ok:
+            failures += 1
+        direction = ">=" if gate.higher_better else "<="
+        rows.append(
+            (
+                "ok  " if ok else "FAIL",
+                f"{gate.bench}.{gate.metric}",
+                f"{fresh:.2f}",
+                f"{direction} {gate.allowed(baseline):.2f}",
+                f"(baseline {baseline:.2f})",
+            )
+        )
+    width = max(len(row[1]) for row in rows)
+    for status, name, fresh, bound, base in rows:
+        print(f"{status}  {name:<{width}}  {fresh:>8}  {bound:<12} {base}")
+    if failures:
+        print(
+            f"{failures} bench gate(s) failed — if intentional, rerun "
+            "the smokes and rebaseline with --update",
+            file=sys.stderr,
+        )
+        return 1
+    print("bench gates OK")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="copy fresh BENCH_*.json over the committed baselines",
+    )
+    args = parser.parse_args(argv)
+    return update() if args.update else compare()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,133 @@
+"""Preprocessing ablation smoke check for `make check` / CI.
+
+Runs the same verification queries over a fat-tree twice — with the
+SatELite-style CNF preprocessing pipeline enabled and disabled — and
+asserts the contract the pipeline promises:
+
+* verdicts are identical with preprocessing on and off (the frozen
+  protocol plus the reconstruction stack make simplification fully
+  transparent to the verifier);
+* on the shared network encoding the pipeline removes at least 20% of
+  the clauses (the acceptance floor; measured >35% on fat-trees);
+* preprocessing actually ran (eliminated variables, subsumed clauses).
+
+Writes ``BENCH_preprocess.json`` with the clause-reduction and
+solve-time ratios that ``compare_bench.py`` gates on.  ``--pods 4``
+(the default) is the 20-router acceptance configuration; ``--pods 2``
+keeps ``make check`` fast.
+"""
+
+import argparse
+import sys
+import time
+
+from repro import obs
+from repro.core import EncoderOptions, Verifier, properties as P
+from repro.core.encoder import NetworkEncoder
+from repro.gen import build_fattree
+from repro.smt import Solver
+
+from benchmarks.harness import emit_metrics, print_table
+
+
+def _queries(tree):
+    return [P.Reachability(sources="all",
+                           dest_prefix_text=tree.tor_subnet(t))
+            for t in (tree.tors[0], tree.tors[-1])]
+
+
+def _verify_all(network, queries, preprocess):
+    verifier = Verifier(network,
+                        options=EncoderOptions(preprocess=preprocess))
+    verdicts = []
+    start = time.perf_counter()
+    for prop in queries:
+        verdicts.append(verifier.verify(prop).holds)
+    return verdicts, time.perf_counter() - start
+
+
+def _clause_reduction(tree, prop):
+    """Forced pipeline run over the shared network encoding."""
+    enc = NetworkEncoder(tree.network, EncoderOptions()).encode(
+        dst_prefix=prop.dst_prefix())
+    solver = Solver()
+    solver.add(*enc.constraints, label="network")
+    delta = solver.run_preprocess()
+    before = delta["live_clauses_before"]
+    after = delta["live_clauses_after"]
+    reduction = 100.0 * (before - after) / before if before else 0.0
+    return reduction, delta
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--pods", type=int, default=4,
+                        help="fat-tree pods (4 = the 20-router "
+                             "acceptance configuration)")
+    args = parser.parse_args(argv)
+
+    tree = build_fattree(args.pods)
+    network = tree.network
+    queries = _queries(tree)
+
+    failures = []
+
+    def check(ok: bool, what: str) -> None:
+        print(("ok  " if ok else "FAIL") + f"  {what}")
+        if not ok:
+            failures.append(what)
+
+    off_verdicts, off_s = _verify_all(network, queries, preprocess=False)
+    tracer = obs.Tracer()
+    with obs.use(tracer):
+        on_verdicts, on_s = _verify_all(network, queries,
+                                        preprocess=True)
+
+    check(on_verdicts == off_verdicts,
+          f"verdicts identical with preprocessing on/off "
+          f"({on_verdicts})")
+    check(all(v is True for v in on_verdicts),
+          "fat-tree reachability holds")
+
+    reduction, delta = _clause_reduction(tree, queries[0])
+    check(reduction >= 20.0,
+          f"clause reduction {reduction:.1f}% >= 20% "
+          f"({delta['live_clauses_before']} -> "
+          f"{delta['live_clauses_after']})")
+    check(delta["pp_eliminated_vars"] > 0, "variables were eliminated")
+    check(delta["pp_subsumed"] + delta["pp_strengthened"] > 0,
+          "clauses were subsumed or strengthened")
+
+    solve_ratio = off_s / on_s if on_s else float("inf")
+    print_table(f"Preprocessing ablation (fat-tree, {args.pods} pods)",
+                ["routers", "queries", "off s", "on s", "ratio",
+                 "reduction"],
+                [[len(network.devices), len(queries),
+                  f"{off_s:.2f}", f"{on_s:.2f}",
+                  f"{solve_ratio:.2f}x", f"{reduction:.1f}%"]])
+
+    emit_metrics("preprocess", {
+        "pods": args.pods,
+        "routers": len(network.devices),
+        "queries": len(queries),
+        "off_seconds": round(off_s, 4),
+        "on_seconds": round(on_s, 4),
+        "solve_ratio": round(solve_ratio, 4),
+        "clause_reduction_pct": round(reduction, 2),
+        "live_clauses_before": delta["live_clauses_before"],
+        "live_clauses_after": delta["live_clauses_after"],
+        "eliminated_vars": delta["pp_eliminated_vars"],
+        "pure_literals": delta["pp_pure_literals"],
+        "subsumed": delta["pp_subsumed"],
+        "strengthened": delta["pp_strengthened"],
+    }, tracer=tracer)
+
+    if failures:
+        print(f"{len(failures)} check(s) failed", file=sys.stderr)
+        return 1
+    print("preprocess smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

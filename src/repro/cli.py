@@ -28,7 +28,7 @@ from contextlib import contextmanager
 from typing import List, Optional
 
 from repro import obs
-from repro.core import BatchQuery, Verifier, properties as P
+from repro.core import BatchQuery, EncoderOptions, Verifier, properties as P
 from repro.net import load_network
 
 __all__ = ["main"]
@@ -76,6 +76,8 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="verify under up to k link failures")
     verify.add_argument("--announced-by", nargs="*", default=[],
                         help="assume these peers announce the destination")
+    verify.add_argument("--no-preprocess", action="store_true",
+                        help="disable SAT-level CNF preprocessing")
     _add_observability_flags(verify)
 
     batch = sub.add_parser(
@@ -103,6 +105,8 @@ def _build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--workers", type=int, default=1,
                        help="process-pool workers for query groups "
                             "(1 = serial)")
+    batch.add_argument("--no-preprocess", action="store_true",
+                       help="disable SAT-level CNF preprocessing")
     _add_observability_flags(batch)
 
     equiv = sub.add_parser("equivalence",
@@ -267,7 +271,8 @@ def _cmd_analyze(args) -> int:
 def _cmd_verify(args) -> int:
     with _observed(args):
         network = load_network(args.configs)
-        verifier = Verifier(network)
+        verifier = Verifier(network, options=EncoderOptions(
+            preprocess=not args.no_preprocess))
         prop = _make_property(args)
         assumptions = [P.announces(peer) for peer in args.announced_by]
         result = verifier.verify(prop, max_failures=args.max_failures,
@@ -330,7 +335,8 @@ def _cmd_verify_batch(args) -> int:
         raise SystemExit("--workers must be >= 1")
     with _observed(args):
         network = load_network(args.configs)
-        verifier = Verifier(network)
+        verifier = Verifier(network, options=EncoderOptions(
+            preprocess=not args.no_preprocess))
         queries = _batch_queries(args)
         results = verifier.verify_batch(queries, workers=args.workers)
     status_text = {True: "HOLDS", False: "VIOLATED", None: "UNKNOWN"}

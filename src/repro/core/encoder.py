@@ -90,6 +90,7 @@ class EncoderOptions:
     exact_failures: bool = False     # require exactly k instead of <= k
     fail_external: bool = True       # external peering links can also fail
     prune_dead_clauses: bool = False  # drop SMT-proven-dead map clauses
+    preprocess: bool = True          # SAT-level CNF simplification (§8)
 
 
 @dataclass

@@ -245,7 +245,8 @@ def _solve_group_traced(tracer, network: Network, options: EncoderOptions,
         with tracer.span("verify.encode", shared=True) as sp_shared:
             encoder = NetworkEncoder(network, options)
             enc = encoder.encode(dst_prefix=dst_prefix)
-            solver = Solver(conflict_budget=conflict_budget)
+            solver = Solver(conflict_budget=conflict_budget,
+                            preprocess=options.preprocess)
             solver.add(*enc.constraints, label="network")
             base_mark = enc.checkpoint()
         # The one-time shared encoding is amortized evenly; each result

@@ -110,7 +110,8 @@ def check_local_equivalence(network: Network, router_a: str, router_b: str,
         differences.append(not_(and_(
             *factory.equate(exported_a, exported_b))))
 
-    solver = Solver(conflict_budget=conflict_budget)
+    solver = Solver(conflict_budget=conflict_budget,
+                    preprocess=options.preprocess)
     solver.add(or_(*differences) if differences else FALSE)
     outcome = solver.check()
     if outcome is UNSAT:

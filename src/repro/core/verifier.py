@@ -220,7 +220,8 @@ class Verifier:
             with tracer.span("verify.encode") as sp_shared:
                 encoder = NetworkEncoder(self.network, options)
                 enc = encoder.encode(dst_prefix=prop.dst_prefix())
-                solver = Solver(conflict_budget=self.conflict_budget)
+                solver = Solver(conflict_budget=self.conflict_budget,
+                                preprocess=self.options.preprocess)
                 solver.add(*enc.constraints, label="network")
                 base_mark = enc.checkpoint()
             with tracer.span("verify.property", property=name) as sp_query:
@@ -348,7 +349,8 @@ class Verifier:
                                            ns="c0.")
                 enc1 = fail_encoder.encode(dst_prefix=prop.dst_prefix(),
                                            ns="c1.")
-                solver = Solver(conflict_budget=self.conflict_budget)
+                solver = Solver(conflict_budget=self.conflict_budget,
+                                preprocess=self.options.preprocess)
                 solver.add(*enc0.constraints, label="network")
                 solver.add(*enc1.constraints, label="network")
                 mark0 = enc0.checkpoint()
@@ -434,7 +436,8 @@ class Verifier:
                 reach1 = reach_instrumentation(enc1, base1, tag="fi1")
                 mismatch = or_(*[not_(iff(reach0[r], reach1[r]))
                                  for r in enc0.routers()])
-                solver = Solver(conflict_budget=self.conflict_budget)
+                solver = Solver(conflict_budget=self.conflict_budget,
+                                preprocess=self.options.preprocess)
                 solver.add(*enc0.constraints, label="network")
                 solver.add(*enc1.constraints, label="network")
                 solver.add(*_equate_packets(enc0, enc1), label="property")
@@ -509,7 +512,8 @@ class Verifier:
                 enc_a = NetworkEncoder(self.network,
                                        self.options).encode(ns="A.")
                 enc_b = NetworkEncoder(other, self.options).encode(ns="B.")
-                solver = Solver(conflict_budget=self.conflict_budget)
+                solver = Solver(conflict_budget=self.conflict_budget,
+                                preprocess=self.options.preprocess)
                 solver.add(*enc_a.constraints, label="network")
                 solver.add(*enc_b.constraints, label="network")
             with tracer.span("verify.property", property=name) as sp_query:

@@ -1,0 +1,614 @@
+"""CNF preprocessing and inprocessing for the CDCL core.
+
+The encoder's Tseitin output is highly redundant: thousands of
+single-use definitional gates, clauses subsumed by stronger siblings,
+and variables whose resolution closure is smaller than their occurrence
+lists.  Industrial solvers recover most of their speed on such formulas
+with SatELite-style simplification (Eén & Biere 2005) before search;
+this module implements that layer for :class:`~.solver.SatSolver`.
+
+Techniques, applied to fixpoint under effort bounds:
+
+* **root unit propagation** — units found while simplifying are fixed
+  at decision level 0 and propagated through the occurrence lists;
+* **subsumption** — a clause C removes every clause D with C ⊆ D,
+  located through occurrence lists and rejected early by 64-bit
+  variable signatures;
+* **self-subsuming resolution** — when C ⊆ D except for one literal
+  appearing with opposite polarity, that literal is deleted from D;
+* **pure-literal elimination** — a variable occurring with one
+  polarity only is removed together with its (satisfiable) clauses;
+* **bounded variable elimination** — NiVER-style: a variable is
+  resolved away when its non-tautological resolvents do not outnumber
+  the clauses they replace.
+
+Correctness contract with the incremental solver:
+
+* **Frozen variables are never eliminated.**  The SMT facade freezes
+  every assumption literal — including the batch engine's activation
+  literals — via :meth:`SatSolver.freeze`; ``solve()`` additionally
+  freezes its assumption variables itself.  Model-readable leaves are
+  deliberately *not* frozen: the reconstruction stack (below) answers
+  for them, and leaving them free is what lets elimination reach the
+  encoder's single-use definitional gates.
+* **A reconstruction stack extends models over eliminated variables.**
+  Each elimination pushes the removed clauses of the witness polarity;
+  after a satisfying search the stack is replayed in reverse, setting
+  each eliminated variable so its original clauses hold, which keeps
+  :meth:`SatSolver.model_value` exact for every variable.
+* **Eliminated variables are restored on reuse.**  If a new clause or
+  assumption mentions an eliminated variable, the solver re-adds the
+  clauses saved at elimination time (cascading through any eliminated
+  variables they mention), so live clauses never reference eliminated
+  variables and incremental solving stays sound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = ["PreprocessConfig", "Preprocessor", "root_simplify"]
+
+_UNDEF = -1
+
+
+class _Unsat(Exception):
+    """Internal: the pipeline derived a root-level contradiction."""
+
+
+@dataclass
+class PreprocessConfig:
+    """Effort bounds for the preprocessing pipeline.
+
+    The defaults favor predictable polynomial work over maximal
+    reduction: occurrence/product caps keep bounded variable
+    elimination near-linear, and the round cap bounds the
+    subsume/eliminate interleaving.
+    """
+
+    # Two rounds reach most of the fixpoint: round one does the bulk,
+    # round two mops up what the first round's eliminations exposed
+    # (later rounds chase diminishing tails at full pass cost).
+    max_rounds: int = 2
+    subsumption: bool = True
+    self_subsumption: bool = True
+    pure_literals: bool = True
+    var_elimination: bool = True
+    # Below this many clauses the pipeline is skipped outright (unless
+    # forced): such formulas solve in less time than a pass costs.
+    min_clauses: int = 512
+    # Per-polarity occurrence cap and pos*neg resolution cap for BVE.
+    # Deliberately tight (NiVER-grade rather than SatELite-grade):
+    # on the router encodings the extra reduction from looser caps is
+    # a couple of percentage points while the pass cost and end-to-end
+    # solve time both worsen measurably.
+    elim_occ_limit: int = 4
+    elim_product_limit: int = 12
+    # Abort an elimination producing a resolvent longer than this.
+    elim_resolvent_limit: int = 12
+    # Clauses longer than this are not used as subsumers, and
+    # occurrence lists longer than this are not scanned.
+    subsume_size_limit: int = 24
+    subsume_occ_limit: int = 600
+
+
+def _signature(clause: List[int]) -> int:
+    """64-bit variable hash: superset clauses have superset signatures."""
+    mask = 0
+    for lit in clause:
+        mask |= 1 << ((lit >> 1) & 63)
+    return mask
+
+
+class Preprocessor:
+    """One run of the simplification pipeline over a solver at root level.
+
+    Operates detached: the solver's problem clauses are copied into a
+    working set with occurrence lists, simplified, and the solver's
+    watch structures are rebuilt from the survivors.  Learned clauses
+    are kept unless they mention an eliminated variable (they are
+    consequences, so dropping them is always sound).
+    """
+
+    def __init__(self, solver, config: Optional[PreprocessConfig] = None):
+        self.solver = solver
+        self.config = config or PreprocessConfig()
+        self.clauses: List[Optional[List[int]]] = []
+        self.occ: List[List[int]] = []
+        self.sig: List[int] = []
+        self.units: List[int] = []
+        # Worklists: clause indices to (re)try as subsumers, and
+        # variables whose occurrence lists changed (elimination may
+        # newly apply).  Seeded with everything on the first round;
+        # later rounds only revisit what the previous round altered.
+        self.dirty: List[int] = []
+        self.touched: set = set()
+        self.stats = {
+            "units": 0,
+            "pure_literals": 0,
+            "subsumed": 0,
+            "strengthened": 0,
+            "eliminated_vars": 0,
+            "resolvents": 0,
+            "removed_clauses": 0,
+        }
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> bool:
+        """Simplify; returns False iff the formula is now known UNSAT."""
+        solver = self.solver
+        solver._cancel_until(0)
+        if solver._propagate() is not None:
+            solver._unsat = True
+            return False
+        try:
+            self._collect()
+            self._flush_units()
+            config = self.config
+            self.dirty = list(range(len(self.clauses)))
+            self.touched = set(range(solver.num_vars))
+            for _ in range(config.max_rounds):
+                changed = False
+                if config.subsumption:
+                    changed |= self._subsumption_pass()
+                if config.pure_literals or config.var_elimination:
+                    changed |= self._elimination_pass()
+                if self.units:
+                    changed |= self._flush_units()
+                if not changed:
+                    break
+            self._rebuild()
+        except _Unsat:
+            solver._unsat = True
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Working-set plumbing
+    # ------------------------------------------------------------------
+
+    def _value(self, lit: int) -> int:
+        value = self.solver._assign[lit >> 1]
+        if value == _UNDEF:
+            return _UNDEF
+        return value ^ (lit & 1)
+
+    def _collect(self) -> None:
+        """Copy live problem clauses, reduced against root assignments."""
+        clauses: List[Optional[List[int]]] = []
+        for clause in self.solver._clauses:
+            out = []
+            satisfied = False
+            for lit in clause:
+                value = self._value(lit)
+                if value == 1:
+                    satisfied = True
+                    break
+                if value == _UNDEF:
+                    out.append(lit)
+            if satisfied:
+                self.stats["removed_clauses"] += 1
+                continue
+            if not out:
+                raise _Unsat
+            if len(out) == 1:
+                self.stats["removed_clauses"] += 1
+                self._fix(out[0])
+                continue
+            clauses.append(out)
+        self.clauses = clauses
+        self.occ = [[] for _ in range(2 * self.solver.num_vars)]
+        self.sig = []
+        for idx, clause in enumerate(clauses):
+            for lit in clause:
+                self.occ[lit].append(idx)
+            self.sig.append(_signature(clause))
+
+    def _fix(self, lit: int) -> None:
+        """Assert ``lit`` at the root; queued for occurrence propagation."""
+        value = self._value(lit)
+        if value == 1:
+            return
+        if value == 0:
+            raise _Unsat
+        self.solver._enqueue(lit, None)
+        self.stats["units"] += 1
+        self.units.append(lit)
+
+    def _flush_units(self) -> bool:
+        """Propagate queued root units through the occurrence lists."""
+        changed = False
+        while self.units:
+            lit = self.units.pop()
+            changed = True
+            for idx in self.occ[lit]:
+                self._remove_clause(idx)
+            self.occ[lit] = []
+            for idx in list(self.occ[lit ^ 1]):
+                self._strengthen(idx, lit ^ 1, tally=False)
+            self.occ[lit ^ 1] = []
+        return changed
+
+    def _remove_clause(self, idx: int) -> None:
+        clause = self.clauses[idx]
+        if clause is None:
+            return
+        self.clauses[idx] = None
+        self.stats["removed_clauses"] += 1
+        for lit in clause:
+            self.touched.add(lit >> 1)
+
+    def _strengthen(self, idx: int, lit: int, tally: bool = True) -> None:
+        """Delete ``lit`` from clause ``idx`` (stale entries ignored)."""
+        clause = self.clauses[idx]
+        if clause is None or lit not in clause:
+            return
+        if tally:
+            self.stats["strengthened"] += 1
+        for other in clause:
+            self.touched.add(other >> 1)
+        out = [other for other in clause if other != lit]
+        if len(out) == 1:
+            self.clauses[idx] = None
+            self.stats["removed_clauses"] += 1
+            self._fix(out[0])
+            return
+        self.clauses[idx] = out
+        self.sig[idx] = _signature(out)
+        self.dirty.append(idx)
+
+    def _occurrences(self, lit: int) -> List[int]:
+        """Compact and return the valid occurrence list of ``lit``."""
+        valid = []
+        for idx in self.occ[lit]:
+            clause = self.clauses[idx]
+            if clause is not None and lit in clause:
+                valid.append(idx)
+        self.occ[lit] = valid
+        return valid
+
+    def _add_work(self, clause: List[int]) -> None:
+        if len(clause) == 1:
+            self._fix(clause[0])
+            return
+        idx = len(self.clauses)
+        self.clauses.append(clause)
+        self.sig.append(_signature(clause))
+        for lit in clause:
+            self.occ[lit].append(idx)
+            self.touched.add(lit >> 1)
+        self.dirty.append(idx)
+
+    # ------------------------------------------------------------------
+    # Subsumption and self-subsuming resolution
+    # ------------------------------------------------------------------
+
+    def _subsumption_pass(self) -> bool:
+        """Try each dirty clause as a subsumer, shortest first."""
+        config = self.config
+        changed = False
+        queue = sorted(
+            {i for i in self.dirty if self.clauses[i] is not None},
+            key=lambda i: len(self.clauses[i]),
+        )
+        del self.dirty[:]
+        for idx in queue:
+            clause = self.clauses[idx]
+            if clause is None or len(clause) > config.subsume_size_limit:
+                continue
+            changed |= self._backward_subsume(idx)
+            if self.units:
+                changed |= self._flush_units()
+        return changed
+
+    def _backward_subsume(self, idx: int) -> bool:
+        """Remove/strengthen every clause weaker than clause ``idx``.
+
+        Candidates are found through the occurrence lists of the
+        least-occurring literal ``best``: any subsumed or strengthenable
+        clause must contain every literal of this clause except at most
+        one flipped literal, hence must contain ``best`` or ``¬best``.
+        """
+        config = self.config
+        clause = self.clauses[idx]
+        changed = False
+        best = min(clause, key=lambda lit: len(self.occ[lit]))
+        for watch, need_strengthen in ((best, False), (best ^ 1, True)):
+            if need_strengthen and not config.self_subsumption:
+                continue
+            if len(self.occ[watch]) > config.subsume_occ_limit:
+                continue
+            signature = self.sig[idx]
+            length = len(clause)
+            for other_idx in list(self.occ[watch]):
+                if other_idx == idx:
+                    continue
+                other = self.clauses[other_idx]
+                if other is None or len(other) < length:
+                    continue
+                if signature & ~self.sig[other_idx]:
+                    continue
+                flip = self._subsumes(clause, other)
+                if flip is None:
+                    continue
+                if flip == -1:
+                    self._remove_clause(other_idx)
+                    self.stats["subsumed"] += 1
+                    changed = True
+                elif config.self_subsumption:
+                    self._strengthen(other_idx, flip)
+                    changed = True
+                clause = self.clauses[idx]
+                if clause is None:
+                    return changed
+        return changed
+
+    @staticmethod
+    def _subsumes(clause: List[int], other: List[int]) -> Optional[int]:
+        """-1 if ``clause`` subsumes ``other``; a literal if ``other``
+        can drop it by self-subsuming resolution; None otherwise."""
+        members = set(other)
+        flip = -1
+        for lit in clause:
+            if lit in members:
+                continue
+            if flip == -1 and (lit ^ 1) in members:
+                flip = lit ^ 1
+                continue
+            return None
+        return flip
+
+    # ------------------------------------------------------------------
+    # Variable elimination (pure literals and bounded resolution)
+    # ------------------------------------------------------------------
+
+    def _candidate(self, var: int) -> bool:
+        solver = self.solver
+        return (
+            var not in solver._frozen
+            and var not in solver._eliminated
+            and solver._assign[var] == _UNDEF
+        )
+
+    def _elimination_pass(self) -> bool:
+        """Pure-literal and bounded elimination over the touched vars."""
+        changed = False
+        candidates = []
+        # Raw occurrence lengths over-count (stale entries), so a var
+        # whose both lists far exceed the elimination cap is hopeless;
+        # skipping it avoids the compaction cost of _occurrences.
+        hopeless = 2 * self.config.elim_occ_limit
+        for var in sorted(self.touched):
+            if not self._candidate(var):
+                continue
+            pos_len = len(self.occ[2 * var])
+            neg_len = len(self.occ[2 * var + 1])
+            if pos_len > hopeless and neg_len > hopeless:
+                continue
+            total = pos_len + neg_len
+            if total:
+                candidates.append((total, var))
+        self.touched.clear()
+        candidates.sort()
+        for _, var in candidates:
+            if not self._candidate(var):
+                continue
+            changed |= self._try_eliminate(var)
+            if self.units:
+                changed |= self._flush_units()
+        return changed
+
+    def _try_eliminate(self, var: int) -> bool:
+        config = self.config
+        pos = self._occurrences(2 * var)
+        neg = self._occurrences(2 * var + 1)
+        if not pos or not neg:
+            if (pos or neg) and config.pure_literals:
+                witness = 2 * var if pos else 2 * var + 1
+                self._eliminate(var, witness, pos or neg, [])
+                self.stats["pure_literals"] += 1
+                return True
+            return False
+        if not config.var_elimination:
+            return False
+        if (
+            len(pos) > config.elim_occ_limit
+            or len(neg) > config.elim_occ_limit
+            or len(pos) * len(neg) > config.elim_product_limit
+        ):
+            return False
+        resolvents = []
+        budget = len(pos) + len(neg)
+        for pos_idx in pos:
+            base = [lit for lit in self.clauses[pos_idx]
+                    if lit >> 1 != var]
+            seen = set(base)
+            for neg_idx in neg:
+                resolvent = self._resolve(
+                    base, seen, self.clauses[neg_idx], var
+                )
+                if resolvent is None:
+                    continue
+                if len(resolvent) > config.elim_resolvent_limit:
+                    return False
+                resolvents.append(resolvent)
+                if len(resolvents) > budget:
+                    return False
+        self._eliminate(var, 2 * var, pos, neg)
+        self.stats["eliminated_vars"] += 1
+        self.stats["resolvents"] += len(resolvents)
+        for resolvent in resolvents:
+            self._add_work(resolvent)
+        return True
+
+    @staticmethod
+    def _resolve(
+        base: List[int], seen: set, neg_clause: List[int], var: int
+    ) -> Optional[List[int]]:
+        """Resolvent on ``var``, or None if it is a tautology.
+
+        ``base``/``seen`` are the positive parent minus ``var``,
+        precomputed once per positive clause by the caller.  Clauses
+        carry no duplicate literals, so within-side dedup is free.
+        """
+        out = list(base)
+        for lit in neg_clause:
+            if lit >> 1 == var:
+                continue
+            if lit ^ 1 in seen:
+                return None
+            if lit not in seen:
+                out.append(lit)
+        return out
+
+    def _eliminate(
+        self,
+        var: int,
+        witness: int,
+        witness_idxs: List[int],
+        other_idxs: List[int],
+    ) -> None:
+        """Remove ``var``'s clauses; record restore + reconstruction data.
+
+        The reconstruction stack gets the clauses containing the witness
+        literal: replayed in reverse, "make the witness true iff one of
+        its clauses is otherwise unsatisfied" re-derives a value for the
+        variable consistent with every clause removed here (the clauses
+        of the opposite polarity are covered by the resolvents, which
+        stay in the formula — the NiVER soundness argument).
+        """
+        solver = self.solver
+        block = []
+        stored = []
+        for idx in witness_idxs:
+            clause = self.clauses[idx]
+            block.append(clause)
+            stored.append(clause)
+            self._remove_clause(idx)
+        for idx in other_idxs:
+            stored.append(self.clauses[idx])
+            self._remove_clause(idx)
+        solver._reconstruction.append((witness, block))
+        solver._elim_clauses[var] = stored
+        solver._eliminated.add(var)
+
+    # ------------------------------------------------------------------
+    # Rebuild the solver around the simplified clause set
+    # ------------------------------------------------------------------
+
+    def _rebuild(self) -> None:
+        solver = self.solver
+        solver._clauses = [c for c in self.clauses if c is not None]
+        eliminated = solver._eliminated
+        assign = solver._assign
+        learnts = []
+        for clause in solver._learnts:
+            dropped = False
+            satisfied = False
+            out = []
+            for lit in clause:
+                if lit >> 1 in eliminated:
+                    dropped = True
+                    break
+                value = assign[lit >> 1]
+                if value == _UNDEF:
+                    out.append(lit)
+                elif value ^ (lit & 1) == 1:
+                    satisfied = True
+                    break
+            if dropped or satisfied:
+                solver._clause_act.pop(id(clause), None)
+                continue
+            if not out:
+                raise _Unsat
+            if len(out) == 1:
+                solver._clause_act.pop(id(clause), None)
+                self._fix(out[0])
+                continue
+            if len(out) != len(clause):
+                activity = solver._clause_act.pop(id(clause), None)
+                clause = out
+                if activity is not None:
+                    solver._clause_act[id(clause)] = activity
+            learnts.append(clause)
+        solver._learnts = learnts
+        size = 2 * solver.num_vars + 2
+        solver._watches = [[] for _ in range(size)]
+        solver._binary = [[] for _ in range(size)]
+        for clause in solver._clauses:
+            solver._attach(clause)
+        for clause in learnts:
+            solver._attach(clause)
+        solver._qhead = 0
+        for lit in solver._trail:
+            solver._reason[lit >> 1] = None
+
+
+def root_simplify(solver) -> int:
+    """Light inprocessing: clean the clause database against root facts.
+
+    Removes clauses satisfied at decision level 0 and deletes falsified
+    literals, rebuilding the watch structures.  Called by the solver
+    between restarts once enough new root units have accumulated; must
+    run at decision level 0.  Returns the number of clauses removed and
+    sets ``solver._unsat`` on a root contradiction.
+    """
+    assign = solver._assign
+    removed = 0
+
+    def reduce_list(clauses: List[List[int]], learnt: bool) -> List[list]:
+        nonlocal removed
+        kept = []
+        for clause in clauses:
+            out = []
+            satisfied = False
+            for lit in clause:
+                value = assign[lit >> 1]
+                if value == _UNDEF:
+                    out.append(lit)
+                elif value ^ (lit & 1) == 1:
+                    satisfied = True
+                    break
+            if satisfied:
+                removed += 1
+                if learnt:
+                    solver._clause_act.pop(id(clause), None)
+                continue
+            if not out:
+                solver._unsat = True
+                return kept
+            if len(out) == 1:
+                removed += 1
+                if learnt:
+                    solver._clause_act.pop(id(clause), None)
+                if not solver._enqueue(out[0], None):
+                    solver._unsat = True
+                    return kept
+                continue
+            if len(out) != len(clause):
+                if learnt:
+                    activity = solver._clause_act.pop(id(clause), None)
+                    if activity is not None:
+                        solver._clause_act[id(out)] = activity
+                clause = out
+            kept.append(clause)
+        return kept
+
+    solver._clauses = reduce_list(solver._clauses, learnt=False)
+    if not solver._unsat:
+        solver._learnts = reduce_list(solver._learnts, learnt=True)
+    if solver._unsat:
+        return removed
+    size = 2 * solver.num_vars + 2
+    solver._watches = [[] for _ in range(size)]
+    solver._binary = [[] for _ in range(size)]
+    for clause in solver._clauses:
+        solver._attach(clause)
+    for clause in solver._learnts:
+        solver._attach(clause)
+    solver._qhead = 0
+    for lit in solver._trail:
+        solver._reason[lit >> 1] = None
+    return removed

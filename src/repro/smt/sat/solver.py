@@ -11,11 +11,23 @@ The solver answers ``True`` (satisfiable), ``False`` (unsatisfiable) or
 ``None`` (conflict budget exhausted).  It supports solving under assumptions
 and incremental clause addition between calls, which the load-balancing
 property uses for its lazy linear-arithmetic refinement loop.
+
+With ``preprocess_enabled`` (off by default at this layer; the SMT facade
+turns it on), :meth:`solve` first runs the SatELite-style simplification
+pipeline in :mod:`.preprocess` — subsumption, self-subsuming resolution,
+pure-literal and bounded variable elimination — under the frozen-variable
+protocol: variables registered via :meth:`freeze` (assumption and
+activation literals, model-readable leaves) are never eliminated, a
+reconstruction stack keeps :meth:`model_value` exact for variables that
+were, and clauses added later over eliminated variables transparently
+restore them.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
+
+from .preprocess import PreprocessConfig, Preprocessor, root_simplify
 
 __all__ = ["SatSolver"]
 
@@ -151,12 +163,43 @@ class SatSolver:
         self._unsat = False
         self._seen: List[int] = []
         self._clause_act: dict = {}
+        # --- preprocessing state (see preprocess.py) -------------------
+        # Off by default so raw SatSolver users (and white-box tests) get
+        # untouched CDCL; the SMT facade enables it per EncoderOptions.
+        self.preprocess_enabled = False
+        self.preprocess_config: Optional[PreprocessConfig] = None
+        # Light root-level clause cleaning between restarts.
+        self.inprocess_enabled = True
+        self.inprocess_min_units = 32
+        self._frozen: Set[int] = set()        # internal var indices
+        self._eliminated: Set[int] = set()
+        # Per eliminated var: its original clauses, for restore-on-reuse.
+        self._elim_clauses: Dict[int, List[list]] = {}
+        # Blocks of (witness_lit, clauses) replayed in reverse to extend
+        # a model over eliminated variables.
+        self._reconstruction: List[tuple] = []
+        # Extended model snapshot from the last SAT answer (per var 0/1),
+        # or None when the last answer was not SAT.
+        self._model: Optional[List[int]] = None
+        self._pp_clause_mark = 0              # clause count at last run
+        self._last_root_size = 0              # root trail size at last run
         # Statistics (exposed for benchmarks and tests).
         self.conflicts = 0
         self.decisions = 0
         self.propagations = 0
         self.restarts = 0
         self.learned_deleted = 0
+        self.pp_runs = 0
+        self.pp_units = 0
+        self.pp_pure_literals = 0
+        self.pp_subsumed = 0
+        self.pp_strengthened = 0
+        self.pp_eliminated_vars = 0
+        self.pp_resolvents = 0
+        self.pp_removed_clauses = 0
+        self.pp_restored_vars = 0
+        self.inprocess_runs = 0
+        self.inprocess_removed = 0
         # Progress sampling: every ``progress_interval`` conflicts the
         # search calls ``progress_hook(stats_snapshot)``.  This is how
         # the telemetry layer watches long solves from the outside
@@ -166,8 +209,12 @@ class SatSolver:
         self.progress_interval = 0
 
     def stats(self) -> Dict[str, int]:
-        """Snapshot of the search counters (all monotone except
-        ``learned``, the live learned-clause count)."""
+        """Snapshot of the search and preprocessing counters.
+
+        All monotone except ``learned`` (live learned-clause count),
+        ``live_clauses`` (live problem-clause count) and ``eliminated``
+        (currently eliminated variables, which shrinks on restore).
+        """
         return {
             "conflicts": self.conflicts,
             "decisions": self.decisions,
@@ -175,6 +222,19 @@ class SatSolver:
             "restarts": self.restarts,
             "learned": len(self._learnts),
             "learned_deleted": self.learned_deleted,
+            "live_clauses": len(self._clauses),
+            "eliminated": len(self._eliminated),
+            "pp_runs": self.pp_runs,
+            "pp_units": self.pp_units,
+            "pp_pure_literals": self.pp_pure_literals,
+            "pp_subsumed": self.pp_subsumed,
+            "pp_strengthened": self.pp_strengthened,
+            "pp_eliminated_vars": self.pp_eliminated_vars,
+            "pp_resolvents": self.pp_resolvents,
+            "pp_removed_clauses": self.pp_removed_clauses,
+            "pp_restored_vars": self.pp_restored_vars,
+            "inprocess_runs": self.inprocess_runs,
+            "inprocess_removed": self.inprocess_removed,
         }
 
     # ------------------------------------------------------------------
@@ -204,9 +264,21 @@ class SatSolver:
         if self._unsat:
             return False
         self._cancel_until(0)
+        dimacs = list(dimacs_lits)
+        if self._eliminated:
+            # Restore eliminated variables *before* evaluating literals
+            # against the root assignment: restoring mid-loop could
+            # attach this clause while earlier literals were judged
+            # against a stale root state.
+            for dl in dimacs:
+                internal = abs(dl) - 1
+                if internal in self._eliminated:
+                    self._restore(internal)
+            if self._unsat:
+                return False
         lits = []
         seen = set()
-        for dl in dimacs_lits:
+        for dl in dimacs:
             var = abs(dl)
             self.ensure_vars(var)
             lit = (var - 1) * 2 + (0 if dl > 0 else 1)
@@ -244,6 +316,137 @@ class SatSolver:
             return
         self._watches[clause[0] ^ 1].append([clause, clause[1]])
         self._watches[clause[1] ^ 1].append([clause, clause[0]])
+
+    # ------------------------------------------------------------------
+    # Preprocessing interface
+    # ------------------------------------------------------------------
+
+    def freeze(self, dimacs_var: int) -> None:
+        """Protect a variable from elimination by the preprocessor.
+
+        Must be called for every variable whose value may be read via
+        :meth:`model_value` while other clauses mentioning it are still
+        being added, and for assumption/activation literals (``solve``
+        freezes its own assumptions as a safety net).  Freezing an
+        already-eliminated variable restores it.
+        """
+        self.ensure_vars(dimacs_var)
+        var = dimacs_var - 1
+        self._frozen.add(var)
+        if var in self._eliminated:
+            self._restore(var)
+
+    def _restore(self, var: int) -> None:
+        """Un-eliminate ``var``: re-add the clauses removed when it was
+        resolved away, cascading through eliminated variables they
+        mention.  Root-level only; may set ``_unsat``."""
+        worklist = [var]
+        while worklist:
+            v = worklist.pop()
+            if v not in self._eliminated:
+                continue
+            self._eliminated.discard(v)
+            self.pp_restored_vars += 1
+            self._order.push(v)
+            for clause in self._elim_clauses.pop(v, ()):
+                for lit in clause:
+                    other = lit >> 1
+                    if other in self._eliminated:
+                        worklist.append(other)
+                self._add_internal(clause)
+        if not self._unsat and self._propagate() is not None:
+            self._unsat = True
+
+    def _add_internal(self, lits: List[int]) -> None:
+        """Root-level add of a clause in internal literals (restore path).
+
+        Mirrors :meth:`add_clause` minus the DIMACS conversion and
+        tautology/dedup work (stored clauses are already clean)."""
+        if self._unsat:
+            return
+        out = []
+        for lit in lits:
+            val = self._lit_value(lit)
+            if val == 1:
+                return  # satisfied at root
+            if val == 0:
+                continue
+            out.append(lit)
+        if not out:
+            self._unsat = True
+            return
+        if len(out) == 1:
+            if not self._enqueue(out[0], None):
+                self._unsat = True
+            return
+        self._attach(out)
+        self._clauses.append(out)
+
+    def simplify(self, force: bool = False) -> bool:
+        """Run the preprocessing pipeline at the root level.
+
+        Gated so incremental solving doesn't pay the (linear-ish) pass
+        on every call: runs on the first invocation and again once the
+        clause database has grown enough since the last run.  ``force``
+        bypasses the gate.  Returns False iff the formula is now known
+        unsatisfiable.
+        """
+        if self._unsat:
+            return False
+        if not self._clauses and not self._learnts:
+            return True
+        config = self.preprocess_config or PreprocessConfig()
+        if not force:
+            if len(self._clauses) < config.min_clauses:
+                return True
+            grown = len(self._clauses) - self._pp_clause_mark
+            if (self.pp_runs
+                    and grown < max(256, self._pp_clause_mark // 8)):
+                return True
+        pre = Preprocessor(self, config)
+        ok = pre.run()
+        self.pp_runs += 1
+        self.pp_units += pre.stats["units"]
+        self.pp_pure_literals += pre.stats["pure_literals"]
+        self.pp_subsumed += pre.stats["subsumed"]
+        self.pp_strengthened += pre.stats["strengthened"]
+        self.pp_eliminated_vars += pre.stats["eliminated_vars"]
+        self.pp_resolvents += pre.stats["resolvents"]
+        self.pp_removed_clauses += pre.stats["removed_clauses"]
+        self._pp_clause_mark = len(self._clauses)
+        self._last_root_size = len(self._trail)
+        return ok
+
+    def _extend_model(self) -> List[int]:
+        """Snapshot the assignment, extended over eliminated variables.
+
+        Replays the reconstruction stack in reverse: each block's
+        witness defaults to false and flips to true iff one of the
+        clauses removed at its elimination is otherwise unsatisfied —
+        exactly the NiVER model-extension argument.  Non-witness
+        literals in a block's clauses are guaranteed final when the
+        block is processed (their own eliminations, if any, are deeper
+        in the stack).
+        """
+        model = list(self._assign)
+        for witness, block in reversed(self._reconstruction):
+            var = witness >> 1
+            if var not in self._eliminated:
+                continue  # restored since; search assigned it directly
+            value = witness & 1  # witness-false default
+            for clause in block:
+                satisfied = False
+                for lit in clause:
+                    if lit == witness:
+                        continue
+                    if model[lit >> 1] ^ (lit & 1) == 1:
+                        satisfied = True
+                        break
+                if not satisfied:
+                    value = 1 - (witness & 1)
+                    break
+            model[var] = value
+        return model
 
     # ------------------------------------------------------------------
     # Assignment plumbing
@@ -292,9 +495,10 @@ class SatSolver:
     def _pick_branch_var(self) -> int:
         order = self._order
         assign = self._assign
+        eliminated = self._eliminated
         while order:
             var = order.pop()
-            if assign[var] == _UNDEF:
+            if assign[var] == _UNDEF and var not in eliminated:
                 return var
         return _UNDEF
 
@@ -550,17 +754,26 @@ class SatSolver:
             True if satisfiable, False if unsatisfiable (under assumptions),
             None if the budget ran out.
         """
+        self._model = None
         if self._unsat:
             return False
         self._cancel_until(0)
-        if self._propagate() is not None:
-            self._unsat = True
-            return False
         assumed = []
         for dl in assumptions:
             var = abs(dl)
             self.ensure_vars(var)
-            assumed.append((var - 1) * 2 + (0 if dl > 0 else 1))
+            internal = var - 1
+            if internal in self._eliminated:
+                self._restore(internal)
+            self._frozen.add(internal)
+            assumed.append(internal * 2 + (0 if dl > 0 else 1))
+        if self._unsat:
+            return False
+        if self.preprocess_enabled and not self.simplify():
+            return False
+        if self._propagate() is not None:
+            self._unsat = True
+            return False
 
         budget_left = conflict_budget
         restart_index = 0
@@ -620,6 +833,16 @@ class SatSolver:
                     restart_limit = 128 * _luby_sequence(restart_index)
                     self.restarts += 1
                     self._cancel_until(0)
+                    # Light inprocessing: once enough new root facts have
+                    # accumulated, clean the clause database against them.
+                    if (self.preprocess_enabled and self.inprocess_enabled
+                            and len(self._trail) - self._last_root_size
+                            >= self.inprocess_min_units):
+                        self.inprocess_runs += 1
+                        self.inprocess_removed += root_simplify(self)
+                        self._last_root_size = len(self._trail)
+                        if self._unsat:
+                            return False
                 continue
             # No conflict: place assumptions, then decide.
             if len(self._trail_lim) < len(assumed):
@@ -636,6 +859,7 @@ class SatSolver:
                 continue
             var = self._pick_branch_var()
             if var == _UNDEF:
+                self._model = self._extend_model()
                 return True
             self.decisions += 1
             self._trail_lim.append(len(self._trail))
@@ -647,11 +871,17 @@ class SatSolver:
     # ------------------------------------------------------------------
 
     def model_value(self, dimacs_var: int) -> bool:
-        """Value of a variable in the most recent satisfying assignment."""
+        """Value of a variable in the most recent satisfying assignment.
+
+        Reads the extended model snapshot when one exists, so variables
+        removed by the preprocessor (pure literals, bounded elimination)
+        still answer exactly as they would in an unpreprocessed run.
+        """
         var = dimacs_var - 1
         if var >= self.num_vars:
             return False
-        val = self._assign[var]
+        source = self._model if self._model is not None else self._assign
+        val = source[var]
         if val == _UNDEF:
             return False
         return val == 1

@@ -89,13 +89,23 @@ class Solver:
         progress_interval: sample the CDCL counters every N conflicts
             during :meth:`check` (see ``last_check_progress``); 0 turns
             sampling off entirely.
+        preprocess: run the SatELite-style CNF simplification pipeline
+            (subsumption, self-subsuming resolution, pure-literal and
+            bounded variable elimination) before search.  The facade
+            freezes every assumption literal, and the solver's
+            reconstruction stack rebuilds eliminated variables for
+            model extraction, so results and models are identical
+            with it on or off.
     """
 
     def __init__(self, conflict_budget: Optional[int] = None,
-                 progress_interval: int = 4096) -> None:
+                 progress_interval: int = 4096,
+                 preprocess: bool = True) -> None:
         self._blaster = Blaster()
         self._cnf = CnfBuilder()
         self._sat = SatSolver()
+        self._sat.preprocess_enabled = preprocess
+        self.preprocess = preprocess
         self._num_clauses_loaded = 0
         self._assertions: List[Term] = []
         # Assumption terms keep their definitional literal across checks so
@@ -164,8 +174,17 @@ class Solver:
             loaded_from = self._num_clauses_loaded
             self._load_clauses()
             sp_load.set(clauses=self._num_clauses_loaded - loaded_from)
-        progress = self.last_check_progress = []
         sat = self._sat
+        if self.preprocess:
+            # Freeze everything the outside world may still reference,
+            # then run the (gated) simplification pipeline under its own
+            # span so per-technique reductions are attributable.
+            self._freeze_protected(assumption_lits)
+            with obs.span("sat.preprocess") as sp_pp:
+                before_pp = sat.stats()
+                sat.simplify()
+                self._record_preprocess(sp_pp, before_pp, sat.stats())
+        progress = self.last_check_progress = []
         if self.progress_interval:
             sat.progress_interval = self.progress_interval
             sat.progress_hook = progress.append
@@ -241,3 +260,67 @@ class Solver:
         for i in range(self._num_clauses_loaded, len(clauses)):
             self._sat.add_clause(clauses[i])
         self._num_clauses_loaded = len(clauses)
+
+    # ------------------------------------------------------------------
+    # CNF preprocessing plumbing
+    # ------------------------------------------------------------------
+
+    def _freeze_protected(self, assumption_lits: Sequence[int]) -> None:
+        """Freeze the SAT variables the preprocessor must not touch.
+
+        Only assumption literals need freezing — that covers the batch
+        engine's activation literals, which arrive here as assumptions.
+        Model-readable variables (the CNF leaves) do *not* need it: the
+        solver's reconstruction stack answers ``model_value`` exactly
+        for eliminated variables, and clauses or assumptions that later
+        mention one transparently restore it.  Leaving leaves free is
+        what lets elimination reach the encoder's single-use
+        definitional gates.
+        """
+        sat = self._sat
+        for lit in assumption_lits:
+            sat.freeze(abs(lit))
+
+    @staticmethod
+    def _record_preprocess(sp, before: Dict[str, int],
+                           after: Dict[str, int]) -> None:
+        sp.set(runs=after["pp_runs"] - before["pp_runs"],
+               live_clauses=after["live_clauses"],
+               removed=(after["pp_removed_clauses"]
+                        - before["pp_removed_clauses"]),
+               subsumed=after["pp_subsumed"] - before["pp_subsumed"],
+               strengthened=(after["pp_strengthened"]
+                             - before["pp_strengthened"]),
+               eliminated=(after["pp_eliminated_vars"]
+                           - before["pp_eliminated_vars"]),
+               pure=(after["pp_pure_literals"]
+                     - before["pp_pure_literals"]))
+        metrics = obs.metrics()
+        if metrics.enabled and after["pp_runs"] > before["pp_runs"]:
+            for key in ("pp_units", "pp_pure_literals", "pp_subsumed",
+                        "pp_strengthened", "pp_eliminated_vars",
+                        "pp_resolvents", "pp_removed_clauses"):
+                metrics.counter(f"sat.{key}").inc(after[key] - before[key])
+            metrics.gauge("sat.live_clauses").set(after["live_clauses"])
+
+    def run_preprocess(self) -> Dict[str, int]:
+        """Force one preprocessing run now; returns per-technique deltas.
+
+        Loads any pending clauses, freezes the protected variables and
+        runs the pipeline unconditionally (bypassing the growth gate).
+        Used by benchmarks and tests to measure clause reduction without
+        a full :meth:`check`.
+        """
+        sat = self._sat
+        with obs.span("sat.preprocess", forced=True) as sp_pp:
+            self._load_clauses()
+            self._freeze_protected(())
+            before = sat.stats()
+            sat.simplify(force=True)
+            after = sat.stats()
+            self._record_preprocess(sp_pp, before, after)
+        delta = {key: after[key] - before[key]
+                 for key in after if key.startswith("pp_")}
+        delta["live_clauses_before"] = before["live_clauses"]
+        delta["live_clauses_after"] = after["live_clauses"]
+        return delta

@@ -44,6 +44,20 @@ class TestVerify:
         assert code == 0
         assert "HOLDS" in capsys.readouterr().out
 
+    def test_no_preprocess_flag_same_verdicts(self, config_dir, capsys):
+        for extra in ([], ["--no-preprocess"]):
+            code = main(["verify", config_dir, "reachability",
+                         "--dest-prefix", "10.9.0.0/24"] + extra)
+            assert code == 0
+            assert "HOLDS" in capsys.readouterr().out
+        code = main(["verify-batch", config_dir,
+                     "--property", "reachability",
+                     "--property", "loops",
+                     "--dest-prefix", "10.9.0.0/24",
+                     "--no-preprocess"])
+        assert code == 0
+        assert "2/2 hold" in capsys.readouterr().out
+
     def test_reachability_violated_exit_code(self, config_dir, capsys):
         code = main(["verify", config_dir, "reachability",
                      "--sources", "R1",

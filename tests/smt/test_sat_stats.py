@@ -8,7 +8,12 @@ from repro.smt import SAT, Solver, UNKNOWN, UNSAT, bv_val, bv_var, eq
 from repro.smt.sat.solver import SatSolver
 
 STAT_KEYS = {"conflicts", "decisions", "propagations", "restarts",
-             "learned", "learned_deleted"}
+             "learned", "learned_deleted",
+             # Preprocessing surface (see smt/sat/preprocess.py).
+             "live_clauses", "eliminated", "pp_runs", "pp_units",
+             "pp_pure_literals", "pp_subsumed", "pp_strengthened",
+             "pp_eliminated_vars", "pp_resolvents", "pp_removed_clauses",
+             "pp_restored_vars", "inprocess_runs", "inprocess_removed"}
 
 
 def _pigeonhole(solver: SatSolver, n: int) -> None:

@@ -6,8 +6,10 @@ diff the fresh ``BENCH_<name>.json`` files at the repo root against
 the committed snapshots in ``benchmarks/baselines/``.  Only
 ratio-style metrics are gated — speedups, overhead percentages,
 reduction percentages — never raw seconds, which vary with the
-runner.  Each gate has a tolerance band sized for CI noise; a fresh
-value outside the band fails the job.
+runner.  Each gate has a tolerance band sized for CI noise.  Gates on
+timing-derived ratios are warn-only (a loaded shared runner can dip
+below any band without a real regression); only the deterministic
+clause-reduction metric hard-fails the job.
 
 Usage::
 
@@ -41,7 +43,9 @@ class Gate:
     ``rel_tol`` (fraction of the baseline value) or ``abs_tol`` (same
     unit as the metric), whichever is looser.  ``floor`` and
     ``ceiling`` are hard limits applied regardless of the baseline —
-    the acceptance criteria themselves.
+    the acceptance criteria themselves.  ``hard`` decides whether an
+    out-of-band value fails the job or only warns: timing-derived
+    metrics are warn-only because shared CI runners make them noisy.
     """
 
     bench: str
@@ -51,6 +55,7 @@ class Gate:
     abs_tol: float = 0.0
     floor: Optional[float] = None
     ceiling: Optional[float] = None
+    hard: bool = True
 
     def allowed(self, baseline: float) -> float:
         slack = max(abs(baseline) * self.rel_tol, self.abs_tol)
@@ -70,15 +75,28 @@ class Gate:
 
 
 # Timing-derived ratios (speedup, overhead, solve ratio) get wide
-# bands: shared CI runners are noisy.  Clause reduction is
-# deterministic for a fixed encoding, so its band is tight and it
-# additionally carries the >= 20% acceptance floor.
+# bands and are warn-only: even wide bands can't make a shared runner
+# deterministic, and a hard timing gate turns runner noise into flaky
+# CI.  Clause reduction is deterministic for a fixed encoding, so it
+# is the hard gate — tight band plus the >= 20% acceptance floor.
 GATES = [
-    Gate("batch", "speedup", True, rel_tol=0.65, floor=1.5),
-    Gate("obs", "overhead_pct", False, abs_tol=15.0, ceiling=25.0),
+    Gate("batch", "speedup", True, rel_tol=0.65, floor=1.5, hard=False),
+    Gate("obs", "overhead_pct", False, abs_tol=15.0, ceiling=25.0, hard=False),
     Gate("preprocess", "clause_reduction_pct", True, abs_tol=2.0, floor=20.0),
-    Gate("preprocess", "solve_ratio", True, rel_tol=0.5),
+    Gate("preprocess", "solve_ratio", True, rel_tol=0.5, hard=False),
 ]
+
+# Exact command to regenerate a bench at the baseline configuration —
+# printed on a pods mismatch so the local flow (`make check` writes a
+# --pods 2 BENCH_preprocess.json, the baselines are --pods 4) is
+# self-repairing.
+RERUN = {
+    "batch": "PYTHONPATH=src:. python benchmarks/run_batch_smoke.py",
+    "obs": "PYTHONPATH=src:. python benchmarks/run_obs_smoke.py --pods {pods}",
+    "preprocess": (
+        "PYTHONPATH=src:. python benchmarks/run_preprocess_smoke.py --pods {pods}"
+    ),
+}
 
 
 def _load(path: str) -> dict:
@@ -111,37 +129,55 @@ def update() -> int:
 
 def compare() -> int:
     failures = 0
+    warnings = 0
+    mismatched = set()
     rows = []
     for gate in GATES:
         fresh_doc = _load(_fresh_path(gate.bench))
         base_doc = _load(_baseline_path(gate.bench))
         if fresh_doc.get("pods") != base_doc.get("pods"):
-            print(
-                f"{gate.bench}: fresh pods={fresh_doc.get('pods')} vs "
-                f"baseline pods={base_doc.get('pods')} — rerun the "
-                "smoke at the baseline configuration",
-                file=sys.stderr,
-            )
-            failures += 1
+            if gate.bench not in mismatched:
+                mismatched.add(gate.bench)
+                cmd = RERUN[gate.bench].format(pods=base_doc.get("pods"))
+                print(
+                    f"{gate.bench}: fresh pods={fresh_doc.get('pods')} vs "
+                    f"baseline pods={base_doc.get('pods')} — rerun the "
+                    f"smoke at the baseline configuration:\n    {cmd}",
+                    file=sys.stderr,
+                )
+                failures += 1
             continue
         fresh = float(fresh_doc[gate.metric])
         baseline = float(base_doc[gate.metric])
         ok = gate.passes(fresh, baseline)
-        if not ok:
+        if ok:
+            status = "ok  "
+        elif gate.hard:
+            status = "FAIL"
             failures += 1
+        else:
+            status = "warn"
+            warnings += 1
         direction = ">=" if gate.higher_better else "<="
         rows.append(
             (
-                "ok  " if ok else "FAIL",
+                status,
                 f"{gate.bench}.{gate.metric}",
                 f"{fresh:.2f}",
                 f"{direction} {gate.allowed(baseline):.2f}",
                 f"(baseline {baseline:.2f})",
             )
         )
-    width = max(len(row[1]) for row in rows)
+    width = max(len(row[1]) for row in rows) if rows else 0
     for status, name, fresh, bound, base in rows:
         print(f"{status}  {name:<{width}}  {fresh:>8}  {bound:<12} {base}")
+    if warnings:
+        print(
+            f"{warnings} timing gate(s) out of band (warn-only: likely "
+            "runner noise; rerun locally if a real regression is "
+            "suspected)",
+            file=sys.stderr,
+        )
     if failures:
         print(
             f"{failures} bench gate(s) failed — if intentional, rerun "

@@ -427,12 +427,22 @@ class SatSolver:
         literals in a block's clauses are guaranteed final when the
         block is processed (their own eliminations, if any, are deeper
         in the stack).
+
+        ``_restore`` does not scrub a variable's old entries off the
+        stack, so a restore-then-re-eliminate cycle leaves stale older
+        entries below the live one; only the newest entry per variable
+        (the first met in the reversed walk) reflects the clause set at
+        its latest elimination, so later duplicates are skipped.
         """
         model = list(self._assign)
+        extended = set()
         for witness, block in reversed(self._reconstruction):
             var = witness >> 1
             if var not in self._eliminated:
                 continue  # restored since; search assigned it directly
+            if var in extended:
+                continue  # stale entry from before an intervening restore
+            extended.add(var)
             value = witness & 1  # witness-false default
             for clause in block:
                 satisfied = False

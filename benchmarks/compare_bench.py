@@ -32,7 +32,7 @@ from typing import Optional
 
 ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 BASELINE_DIR = os.path.join(ROOT, "benchmarks", "baselines")
-BENCHES = ("batch", "obs", "preprocess")
+BENCHES = ("batch", "obs", "preprocess", "satcore")
 
 
 @dataclass
@@ -84,6 +84,13 @@ GATES = [
     Gate("obs", "overhead_pct", False, abs_tol=15.0, ceiling=25.0, hard=False),
     Gate("preprocess", "clause_reduction_pct", True, abs_tol=2.0, floor=20.0),
     Gate("preprocess", "solve_ratio", True, rel_tol=0.5, hard=False),
+    # SAT-core differential identity and portfolio determinism are
+    # exact for a fixed workload: hard floors at 1.0, no band.
+    Gate("satcore", "verdict_match", True, floor=1.0),
+    Gate("satcore", "counter_match", True, floor=1.0),
+    Gate("satcore", "portfolio_deterministic", True, floor=1.0),
+    Gate("satcore", "props_per_sec", True, rel_tol=0.5, hard=False),
+    Gate("satcore", "solve_ratio", True, rel_tol=0.5, hard=False),
 ]
 
 # Exact command to regenerate a bench at the baseline configuration —
@@ -95,6 +102,9 @@ RERUN = {
     "obs": "PYTHONPATH=src:. python benchmarks/run_obs_smoke.py --pods {pods}",
     "preprocess": (
         "PYTHONPATH=src:. python benchmarks/run_preprocess_smoke.py --pods {pods}"
+    ),
+    "satcore": (
+        "PYTHONPATH=src:. python benchmarks/run_satcore_smoke.py --pods {pods}"
     ),
 }
 

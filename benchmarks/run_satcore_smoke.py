@@ -1,0 +1,180 @@
+"""SAT-core smoke check for `make check` / CI: arena + portfolio.
+
+Exercises the two PR-level promises of the flat-arena CDCL core:
+
+* **Fidelity** — on random 3-SAT and on a real fat-tree verification
+  CNF, the arena solver and the list-based reference produce identical
+  verdicts, identical full counter snapshots (conflicts, decisions,
+  propagations, ...) and identical models.  These are deterministic
+  for a fixed workload, so they hard-gate in ``compare_bench.py``.
+* **Portfolio determinism** — racing diversified seeded workers with
+  artificially skewed finish orders must return the same verdict and
+  model every time (canonical winner = lowest seed with a verdict).
+
+It also measures BCP throughput (``props_per_sec``) and the arena/
+reference solve-time ratio (``solve_ratio``; > 1 means the arena is
+faster).  Both are timing-derived and therefore warn-only in the gate.
+
+Writes ``BENCH_satcore.json``.  ``--pods 2`` (the default) keeps
+``make check`` fast; CI runs ``--pods 4``.
+"""
+
+import argparse
+import random
+import sys
+import time
+
+from repro.core import EncoderOptions, properties as P
+from repro.core.encoder import NetworkEncoder
+from repro.gen import build_fattree
+from repro.net import ip as iplib
+from repro.smt import Solver, not_
+from repro.smt.sat import ReferenceSatSolver, SatSolver
+from repro.smt.sat import portfolio as pf
+from repro.smt.sat.portfolio import default_configs, race
+
+from benchmarks.harness import emit_metrics, print_table
+
+
+def random_cnf(seed, n=140, ratio=4.26):
+    rng = random.Random(seed)
+    return [[v if rng.random() < 0.5 else -v
+             for v in rng.sample(range(1, n + 1), 3)]
+            for _ in range(int(n * ratio))]
+
+
+def fattree_cnf(pods):
+    """The CNF of a negated all-ToR reachability check (normally UNSAT)."""
+    tree = build_fattree(pods)
+    subnet = tree.tor_subnet(tree.tors[0])
+    enc = NetworkEncoder(tree.network, EncoderOptions()).encode(
+        dst_prefix=iplib.parse_prefix(subnet))
+    facade = Solver()
+    facade.add(*enc.constraints, label="network")
+    mark = enc.checkpoint()
+    prop = P.Reachability(sources="all", dest_prefix_text=subnet)
+    term = prop.encode(enc)
+    facade.add(*enc.constraints_since(mark), label="instrumentation")
+    facade.add(not_(term), label="property")
+    return [list(c) for c in facade._cnf.clauses], facade._cnf.num_vars
+
+
+def run_pair(clauses, num_vars, preprocess, budget=None):
+    """(verdicts_equal, counters_equal, arena_seconds, ref_seconds)."""
+    runs = []
+    for cls in (SatSolver, ReferenceSatSolver):
+        solver = cls()
+        solver.preprocess_enabled = preprocess
+        solver.ensure_vars(num_vars)
+        for clause in clauses:
+            solver.add_clause(clause)
+        start = time.perf_counter()
+        outcome = solver.solve(conflict_budget=budget)
+        seconds = time.perf_counter() - start
+        runs.append((outcome, solver.stats(), seconds, solver))
+    (out_a, stats_a, sec_a, sol_a), (out_b, stats_b, sec_b, sol_b) = runs
+    verdicts = out_a == out_b
+    counters = stats_a == stats_b
+    if verdicts and out_a:
+        verdicts = all(sol_a.model_value(v) == sol_b.model_value(v)
+                       for v in range(1, num_vars + 1))
+    return verdicts, counters, sec_a, sec_b
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--pods", type=int, default=2,
+                        help="fat-tree pods for the encoding workload "
+                             "(2 keeps `make check` fast; CI uses 4)")
+    parser.add_argument("--seeds", type=int, default=4,
+                        help="random-CNF workloads per preprocess mode")
+    args = parser.parse_args(argv)
+
+    failures = []
+
+    def check(ok: bool, what: str) -> None:
+        print(("ok  " if ok else "FAIL") + f"  {what}")
+        if not ok:
+            failures.append(what)
+
+    # --- differential fidelity + throughput --------------------------
+    all_verdicts = True
+    all_counters = True
+    arena_s = ref_s = 0.0
+    arena_props = 0
+    for seed in range(args.seeds):
+        clauses = random_cnf(seed)
+        for preprocess in (False, True):
+            v, c, sa, sb = run_pair(clauses, 140, preprocess,
+                                    budget=30000)
+            all_verdicts &= v
+            all_counters &= c
+            arena_s += sa
+            ref_s += sb
+    # Re-measure propagation throughput on the arena alone (no
+    # reference interleaving, stable denominator).
+    start = time.perf_counter()
+    for seed in range(args.seeds):
+        solver = SatSolver()
+        for clause in random_cnf(seed):
+            solver.add_clause(clause)
+        solver.solve(conflict_budget=30000)
+        arena_props += solver.propagations
+    props_per_sec = arena_props / (time.perf_counter() - start)
+
+    ft_clauses, ft_vars = fattree_cnf(args.pods)
+    for preprocess in (False, True):
+        v, c, sa, sb = run_pair(ft_clauses, ft_vars, preprocess)
+        all_verdicts &= v
+        all_counters &= c
+        arena_s += sa
+        ref_s += sb
+
+    check(all_verdicts, "arena verdicts/models identical to reference")
+    check(all_counters, "arena counters identical to reference")
+    solve_ratio = ref_s / arena_s if arena_s else float("inf")
+
+    # --- portfolio determinism under skewed finish orders ------------
+    outcomes = []
+    try:
+        for delays in ({}, {0: 0.25}, {1: 0.25}):
+            pf._TEST_DELAYS.clear()
+            pf._TEST_DELAYS.update(delays)
+            result = race(random_cnf(1, n=60, ratio=4.0), 60,
+                          configs=default_configs(3), timeout=120)
+            outcomes.append((result.outcome, result.winner.seed,
+                             result.model))
+    finally:
+        pf._TEST_DELAYS.clear()
+    deterministic = len(set(map(repr, outcomes))) == 1
+    check(deterministic,
+          f"portfolio verdict/model stable under skew ({outcomes[0][0]})")
+
+    print_table(f"SAT core smoke (fat-tree {args.pods} pods, "
+                f"{args.seeds} random seeds)",
+                ["props/s", "arena s", "ref s", "ratio", "portfolio"],
+                [[f"{props_per_sec / 1000:.1f}k", f"{arena_s:.2f}",
+                  f"{ref_s:.2f}", f"{solve_ratio:.2f}x",
+                  "deterministic" if deterministic else "UNSTABLE"]])
+
+    emit_metrics("satcore", {
+        "pods": args.pods,
+        "seeds": args.seeds,
+        "verdict_match": 1.0 if all_verdicts else 0.0,
+        "counter_match": 1.0 if all_counters else 0.0,
+        "portfolio_deterministic": 1.0 if deterministic else 0.0,
+        "props_per_sec": round(props_per_sec, 1),
+        "arena_seconds": round(arena_s, 4),
+        "reference_seconds": round(ref_s, 4),
+        "solve_ratio": round(solve_ratio, 4),
+    })
+
+    if failures:
+        print(f"{len(failures)} check(s) failed", file=sys.stderr)
+        return 1
+    print("satcore smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

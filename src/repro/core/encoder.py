@@ -91,6 +91,7 @@ class EncoderOptions:
     fail_external: bool = True       # external peering links can also fail
     prune_dead_clauses: bool = False  # drop SMT-proven-dead map clauses
     preprocess: bool = True          # SAT-level CNF simplification (§8)
+    portfolio: int = 1               # race N seeded solver processes
 
 
 @dataclass

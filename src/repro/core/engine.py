@@ -36,6 +36,7 @@ a solver; they are routed through ``Verifier.verify`` individually.
 
 from __future__ import annotations
 
+import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -189,7 +190,15 @@ class BatchEngine:
                         results[index] = result
                     if trace_payload is not None:
                         tracer.merge(trace_payload)
-        except Exception:
+        except Exception as exc:
+            # A silent fallback hides real environment problems (broken
+            # spawn method, unpicklable networks) behind a mysterious
+            # serial slowdown — make it loud and countable.
+            obs.metrics().counter("engine.pool_fallback").inc()
+            warnings.warn(
+                f"batch process pool failed ({exc!r}); "
+                f"re-running {len(items)} groups serially",
+                RuntimeWarning, stacklevel=2)
             return False
         return True
 
@@ -246,7 +255,8 @@ def _solve_group_traced(tracer, network: Network, options: EncoderOptions,
             encoder = NetworkEncoder(network, options)
             enc = encoder.encode(dst_prefix=dst_prefix)
             solver = Solver(conflict_budget=conflict_budget,
-                            preprocess=options.preprocess)
+                            preprocess=options.preprocess,
+                            portfolio=options.portfolio)
             solver.add(*enc.constraints, label="network")
             base_mark = enc.checkpoint()
         # The one-time shared encoding is amortized evenly; each result

@@ -221,7 +221,8 @@ class Verifier:
                 encoder = NetworkEncoder(self.network, options)
                 enc = encoder.encode(dst_prefix=prop.dst_prefix())
                 solver = Solver(conflict_budget=self.conflict_budget,
-                                preprocess=self.options.preprocess)
+                                preprocess=self.options.preprocess,
+                                portfolio=self.options.portfolio)
                 solver.add(*enc.constraints, label="network")
                 base_mark = enc.checkpoint()
             with tracer.span("verify.property", property=name) as sp_query:
@@ -350,7 +351,8 @@ class Verifier:
                 enc1 = fail_encoder.encode(dst_prefix=prop.dst_prefix(),
                                            ns="c1.")
                 solver = Solver(conflict_budget=self.conflict_budget,
-                                preprocess=self.options.preprocess)
+                                preprocess=self.options.preprocess,
+                                portfolio=self.options.portfolio)
                 solver.add(*enc0.constraints, label="network")
                 solver.add(*enc1.constraints, label="network")
                 mark0 = enc0.checkpoint()
@@ -437,7 +439,8 @@ class Verifier:
                 mismatch = or_(*[not_(iff(reach0[r], reach1[r]))
                                  for r in enc0.routers()])
                 solver = Solver(conflict_budget=self.conflict_budget,
-                                preprocess=self.options.preprocess)
+                                preprocess=self.options.preprocess,
+                                portfolio=self.options.portfolio)
                 solver.add(*enc0.constraints, label="network")
                 solver.add(*enc1.constraints, label="network")
                 solver.add(*_equate_packets(enc0, enc1), label="property")
@@ -513,7 +516,8 @@ class Verifier:
                                        self.options).encode(ns="A.")
                 enc_b = NetworkEncoder(other, self.options).encode(ns="B.")
                 solver = Solver(conflict_budget=self.conflict_budget,
-                                preprocess=self.options.preprocess)
+                                preprocess=self.options.preprocess,
+                                portfolio=self.options.portfolio)
                 solver.add(*enc_a.constraints, label="network")
                 solver.add(*enc_b.constraints, label="network")
             with tracer.span("verify.property", property=name) as sp_query:

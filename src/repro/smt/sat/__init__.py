@@ -1,5 +1,11 @@
-"""Pure-Python CDCL SAT solver."""
+"""Pure-Python CDCL SAT solver.
 
+``SatSolver`` is the production flat-arena solver; ``ReferenceSatSolver``
+is the list-based baseline kept for differential testing; ``portfolio``
+races seeded ``SatSolver`` configurations across processes.
+"""
+
+from .reference import ReferenceSatSolver
 from .solver import SatSolver
 
-__all__ = ["SatSolver"]
+__all__ = ["SatSolver", "ReferenceSatSolver"]

@@ -1,0 +1,272 @@
+"""Seeded portfolio racing for the CDCL core.
+
+Races N :class:`~.solver.SatSolver` processes with diversified
+configurations — restart pacing, VSIDS decay, initial phases, random
+decisions — over the *same* CNF, and reports one verdict.  CDCL runtimes
+are heavy-tailed in the configuration, so the minimum over a few cheap
+diversified runs routinely beats any fixed configuration; this is the
+classic ManySAT/Plingeling recipe, minus clause sharing.
+
+Determinism contract (regardless of finish order):
+
+* **UNSAT** is a unique verdict — the first refutation wins outright and
+  the remaining workers are cancelled.  Which worker refuted first may
+  vary run to run, but the verdict (and absence of a model) cannot.
+* **SAT** models differ between configurations, so a satisfying worker
+  with seed ``s`` only cancels the seeds *above* ``s``; the race keeps
+  waiting on the seeds below.  The winner is therefore the lowest seed
+  that produces a verdict within its own conflict budget — a property of
+  the seed set, not of scheduling — and the reported model is always
+  that worker's.  Seed 0 runs the vanilla configuration, so for a fixed
+  shipped CNF a seed-0 win reproduces a from-scratch vanilla solve of
+  that CNF bit-identically.
+* **UNKNOWN** only when every worker exhausts its budget.
+
+Workers are plain ``multiprocessing.Process`` children connected by
+pipes (the same process-isolation approach as the batch engine's group
+pool); each rebuilds a solver from the shipped DIMACS clauses and ships
+back the verdict, the model and its counter snapshot.  Preprocessing is
+configuration-independent, so the SMT facade runs it once in the parent
+and ships the already-simplified clause database with
+``preprocess=False`` — the workers race only the search (direct callers
+of :func:`race` can still ship a raw CNF with ``preprocess=True`` and
+let each worker simplify locally).  Any spawn or transport failure
+raises :class:`PortfolioError`; callers (the SMT facade) fall back to a
+serial solve and say so.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["PortfolioConfig", "PortfolioResult", "PortfolioError",
+           "default_configs", "race"]
+
+# Test hook: seed index -> seconds to sleep before solving.  Lets tests
+# skew finish order arbitrarily to prove the determinism contract;
+# inherited by fork, harmless in production (empty).
+_TEST_DELAYS: Dict[int, float] = {}
+
+
+class PortfolioError(RuntimeError):
+    """The race could not produce a verdict (spawn/transport failure)."""
+
+
+@dataclass(frozen=True)
+class PortfolioConfig:
+    """One worker's solver configuration.
+
+    ``seed`` doubles as the worker's rank for the deterministic-winner
+    rule: lower seeds are canonical.  Seed 0 must stay the vanilla
+    configuration (defaults of :class:`~.solver.SatSolver`) so a
+    seed-0 win reproduces a vanilla solve of the shipped CNF
+    bit-identically.
+    """
+
+    seed: int
+    restart_base: int = 128
+    var_decay: float = 0.95
+    phase_init: str = "false"
+    random_decision_freq: float = 0.0
+
+    def build(self):
+        from .solver import SatSolver
+        return SatSolver(seed=self.seed,
+                         restart_base=self.restart_base,
+                         var_decay=self.var_decay,
+                         phase_init=self.phase_init,
+                         random_decision_freq=self.random_decision_freq)
+
+
+# The first few hand-picked diversification points; past these, workers
+# vary only the seed of the randomized configuration.
+_BASE_VARIANTS: List[dict] = [
+    {},                                                # vanilla
+    {"phase_init": "true"},                            # inverted phases
+    {"restart_base": 512},                             # slow restarts
+    {"phase_init": "random", "random_decision_freq": 0.02},
+    {"restart_base": 64, "var_decay": 0.90},           # rapid + greedy
+    {"phase_init": "random", "restart_base": 256},
+]
+
+
+def default_configs(n: int) -> List[PortfolioConfig]:
+    """The standard diversification ladder for an ``n``-worker race."""
+    if n < 1:
+        raise ValueError("portfolio size must be >= 1")
+    configs = []
+    for i in range(n):
+        variant = _BASE_VARIANTS[i % len(_BASE_VARIANTS)]
+        configs.append(PortfolioConfig(seed=i, **variant))
+    return configs
+
+
+@dataclass
+class PortfolioResult:
+    """Outcome of one race.
+
+    ``outcome`` follows ``SatSolver.solve``: True / False / None.
+    ``model`` is the winner's extended model indexed by DIMACS var - 1
+    (present iff SAT).  ``stats`` is the winner's counter snapshot (for
+    UNKNOWN: the worker with the most conflicts, i.e. the deepest
+    attempt).  ``worker_outcomes`` maps seed -> outcome for every worker
+    that reported before the race was decided.
+    """
+
+    outcome: Optional[bool]
+    winner: Optional[PortfolioConfig]
+    model: Optional[List[bool]] = None
+    stats: Dict[str, int] = field(default_factory=dict)
+    workers: int = 0
+    worker_outcomes: Dict[int, Optional[bool]] = field(default_factory=dict)
+
+
+def _worker(conn, config: PortfolioConfig, clauses: List[List[int]],
+            num_vars: int, assumptions: List[int],
+            conflict_budget: Optional[int], preprocess: bool) -> None:
+    """Child body: rebuild, solve, ship (outcome, model, stats)."""
+    try:
+        delay = _TEST_DELAYS.get(config.seed)
+        if delay:
+            time.sleep(delay)
+        solver = config.build()
+        solver.preprocess_enabled = preprocess
+        solver.ensure_vars(num_vars)
+        for clause in clauses:
+            solver.add_clause(clause)
+        outcome = solver.solve(assumptions, conflict_budget=conflict_budget)
+        model = None
+        if outcome:
+            model = [solver.model_value(v) for v in range(1, num_vars + 1)]
+        conn.send((config.seed, outcome, model, solver.stats()))
+    except Exception as exc:  # pragma: no cover - transport diagnostics
+        try:
+            conn.send((config.seed, "error", repr(exc), None))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+def race(clauses: List[List[int]], num_vars: int,
+         assumptions: Sequence[int] = (),
+         conflict_budget: Optional[int] = None,
+         preprocess: bool = True,
+         configs: Optional[Sequence[PortfolioConfig]] = None,
+         timeout: Optional[float] = None) -> PortfolioResult:
+    """Race diversified solver processes over one CNF; see module doc.
+
+    Raises :class:`PortfolioError` if the race machinery itself fails
+    (cannot spawn, workers die without reporting, timeout) — callers
+    should treat that as "portfolio unavailable" and solve serially.
+    """
+    if configs is None:
+        configs = default_configs(2)
+    configs = sorted(configs, key=lambda c: c.seed)
+    seeds = [c.seed for c in configs]
+    if len(set(seeds)) != len(seeds):
+        raise ValueError("portfolio seeds must be unique")
+    by_seed = {c.seed: c for c in configs}
+
+    ctx = multiprocessing.get_context()
+    procs: Dict[int, multiprocessing.Process] = {}
+    conns = {}
+    try:
+        for config in configs:
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_worker,
+                args=(child_conn, config, clauses, num_vars,
+                      list(assumptions), conflict_budget, preprocess),
+                daemon=True)
+            proc.start()
+            child_conn.close()
+            procs[config.seed] = proc
+            conns[config.seed] = parent_conn
+    except Exception as exc:
+        _terminate(procs, conns)
+        raise PortfolioError(f"could not spawn portfolio workers: {exc!r}")
+
+    deadline = None if timeout is None else time.monotonic() + timeout
+    reported: Dict[int, Tuple[Optional[bool], Optional[List[bool]], dict]] = {}
+    sat_seed: Optional[int] = None  # lowest SAT seed so far
+    try:
+        while True:
+            pending = [s for s in conns
+                       if s not in reported
+                       and (sat_seed is None or s < sat_seed)]
+            if not pending:
+                break
+            wait_for = [conns[s] for s in pending]
+            budget = (None if deadline is None
+                      else max(0.0, deadline - time.monotonic()))
+            ready = multiprocessing.connection.wait(wait_for, budget)
+            if not ready:
+                raise PortfolioError(
+                    f"portfolio timed out after {timeout}s with "
+                    f"{len(pending)} workers outstanding")
+            for conn in ready:
+                seed = next(s for s in pending if conns[s] is conn)
+                try:
+                    msg = conn.recv()
+                except EOFError:
+                    raise PortfolioError(
+                        f"portfolio worker seed={seed} died "
+                        "without reporting")
+                if msg[1] == "error":
+                    raise PortfolioError(
+                        f"portfolio worker seed={seed} failed: {msg[2]}")
+                _, outcome, model, stats = msg
+                reported[seed] = (outcome, model, stats)
+                if outcome is False:
+                    # UNSAT is unique: first refutation decides the race.
+                    return PortfolioResult(
+                        outcome=False, winner=by_seed[seed], stats=stats,
+                        workers=len(configs),
+                        worker_outcomes={s: r[0]
+                                         for s, r in reported.items()})
+                if outcome is True and (sat_seed is None or seed < sat_seed):
+                    # Cancel higher seeds; keep waiting on lower ones —
+                    # any of them either beats this verdict (lower seed)
+                    # or exhausts its budget.
+                    sat_seed = seed
+                    for other, proc in procs.items():
+                        if other > seed and other not in reported:
+                            proc.terminate()
+    finally:
+        _terminate(procs, conns)
+
+    worker_outcomes = {s: r[0] for s, r in reported.items()}
+    if sat_seed is not None:
+        outcome, model, stats = reported[sat_seed]
+        return PortfolioResult(outcome=True, winner=by_seed[sat_seed],
+                               model=model, stats=stats,
+                               workers=len(configs),
+                               worker_outcomes=worker_outcomes)
+    if not reported:
+        raise PortfolioError("no portfolio worker reported a result")
+    # Everyone exhausted the budget: UNKNOWN.  Attribute stats to the
+    # deepest attempt (most conflicts; seed breaks ties) so budget
+    # diagnostics reflect the hardest try.
+    deepest = max(reported,
+                  key=lambda s: (reported[s][2].get("conflicts", 0), -s))
+    return PortfolioResult(outcome=None, winner=by_seed[deepest],
+                           stats=reported[deepest][2],
+                           workers=len(configs),
+                           worker_outcomes=worker_outcomes)
+
+
+def _terminate(procs, conns) -> None:
+    for proc in procs.values():
+        if proc.is_alive():
+            proc.terminate()
+    for proc in procs.values():
+        proc.join(timeout=5.0)
+    for conn in conns.values():
+        try:
+            conn.close()
+        except Exception:
+            pass

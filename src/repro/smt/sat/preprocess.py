@@ -178,7 +178,7 @@ class Preprocessor:
     def _collect(self) -> None:
         """Copy live problem clauses, reduced against root assignments."""
         clauses: List[Optional[List[int]]] = []
-        for clause in self.solver._clauses:
+        for clause in self.solver.clause_lists():
             out = []
             satisfied = False
             for lit in clause:
@@ -499,12 +499,21 @@ class Preprocessor:
     # ------------------------------------------------------------------
 
     def _rebuild(self) -> None:
+        """Reinstall the surviving clause set through the accessor layer.
+
+        Learnt clauses mentioning an eliminated variable are dropped
+        (they are consequences, so that is always sound); drops are
+        tallied into ``learned_deleted`` so the counter stays the
+        monotone "learnt clauses ever discarded" total that portfolio
+        aggregation sums across workers.
+        """
         solver = self.solver
-        solver._clauses = [c for c in self.clauses if c is not None]
+        problem = [c for c in self.clauses if c is not None]
         eliminated = solver._eliminated
         assign = solver._assign
         learnts = []
-        for clause in solver._learnts:
+        deleted = 0
+        for clause, activity in solver.learnt_lists():
             dropped = False
             satisfied = False
             out = []
@@ -519,49 +528,39 @@ class Preprocessor:
                     satisfied = True
                     break
             if dropped or satisfied:
-                solver._clause_act.pop(id(clause), None)
+                deleted += 1
                 continue
             if not out:
+                solver.learned_deleted += deleted
                 raise _Unsat
             if len(out) == 1:
-                solver._clause_act.pop(id(clause), None)
+                deleted += 1
                 self._fix(out[0])
                 continue
-            if len(out) != len(clause):
-                activity = solver._clause_act.pop(id(clause), None)
-                clause = out
-                if activity is not None:
-                    solver._clause_act[id(clause)] = activity
-            learnts.append(clause)
-        solver._learnts = learnts
-        size = 2 * solver.num_vars + 2
-        solver._watches = [[] for _ in range(size)]
-        solver._binary = [[] for _ in range(size)]
-        for clause in solver._clauses:
-            solver._attach(clause)
-        for clause in learnts:
-            solver._attach(clause)
-        solver._qhead = 0
-        for lit in solver._trail:
-            solver._reason[lit >> 1] = None
+            learnts.append((out, activity))
+        solver.learned_deleted += deleted
+        solver.install_clauses(problem, learnts)
 
 
 def root_simplify(solver) -> int:
     """Light inprocessing: clean the clause database against root facts.
 
     Removes clauses satisfied at decision level 0 and deletes falsified
-    literals, rebuilding the watch structures.  Called by the solver
-    between restarts once enough new root units have accumulated; must
-    run at decision level 0.  Returns the number of clauses removed and
-    sets ``solver._unsat`` on a root contradiction.
+    literals, reinstalling the survivors through the solver's accessor
+    layer.  Called by the solver between restarts once enough new root
+    units have accumulated; must run at decision level 0.  Returns the
+    number of clauses removed and sets ``solver._unsat`` on a root
+    contradiction.  Learnt clauses discarded here count toward
+    ``learned_deleted`` (the monotone "ever discarded" total).
     """
     assign = solver._assign
     removed = 0
+    deleted_learnts = 0
 
-    def reduce_list(clauses: List[List[int]], learnt: bool) -> List[list]:
-        nonlocal removed
+    def reduce_pairs(pairs, learnt: bool):
+        nonlocal removed, deleted_learnts
         kept = []
-        for clause in clauses:
+        for clause, activity in pairs:
             out = []
             satisfied = False
             for lit in clause:
@@ -574,7 +573,7 @@ def root_simplify(solver) -> int:
             if satisfied:
                 removed += 1
                 if learnt:
-                    solver._clause_act.pop(id(clause), None)
+                    deleted_learnts += 1
                 continue
             if not out:
                 solver._unsat = True
@@ -582,33 +581,21 @@ def root_simplify(solver) -> int:
             if len(out) == 1:
                 removed += 1
                 if learnt:
-                    solver._clause_act.pop(id(clause), None)
+                    deleted_learnts += 1
                 if not solver._enqueue(out[0], None):
                     solver._unsat = True
                     return kept
                 continue
-            if len(out) != len(clause):
-                if learnt:
-                    activity = solver._clause_act.pop(id(clause), None)
-                    if activity is not None:
-                        solver._clause_act[id(out)] = activity
-                clause = out
-            kept.append(clause)
+            kept.append((out, activity))
         return kept
 
-    solver._clauses = reduce_list(solver._clauses, learnt=False)
+    problem = reduce_pairs(((c, None) for c in solver.clause_lists()),
+                           learnt=False)
+    learnts = []
     if not solver._unsat:
-        solver._learnts = reduce_list(solver._learnts, learnt=True)
+        learnts = reduce_pairs(solver.learnt_lists(), learnt=True)
+    solver.learned_deleted += deleted_learnts
     if solver._unsat:
         return removed
-    size = 2 * solver.num_vars + 2
-    solver._watches = [[] for _ in range(size)]
-    solver._binary = [[] for _ in range(size)]
-    for clause in solver._clauses:
-        solver._attach(clause)
-    for clause in solver._learnts:
-        solver._attach(clause)
-    solver._qhead = 0
-    for lit in solver._trail:
-        solver._reason[lit >> 1] = None
+    solver.install_clauses([lits for lits, _ in problem], learnts)
     return removed

@@ -1,37 +1,66 @@
-"""A CDCL SAT solver in pure Python.
+"""A CDCL SAT solver in pure Python over a flat clause arena.
 
 Implements the standard modern architecture: two-watched-literal propagation,
 first-UIP conflict analysis with recursive clause minimization, VSIDS decision
 ordering with phase saving, Luby restarts and activity-driven deletion of
-learned clauses.  The design follows MiniSat; the code is tuned for CPython
-(flat lists of ints, literal encoding ``2*var + sign``, minimal attribute
-lookups in the propagation loop).
+learned clauses.  The design follows MiniSat; the storage layout follows the
+flat-buffer style of modern C solvers, adapted to CPython:
+
+* **Clause arena** — one growable flat int buffer (a Python list of
+  int32-range ints; :meth:`SatSolver.arena_view` exports an ``array('i')``
+  int32 memoryview of it) holding every clause as
+  ``[end, lit0, lit1, ...]``.  A clause is identified by the offset of its
+  *first literal* (its *ref*), so the hot path reads ``arena[ref]`` /
+  ``arena[ref + 1]`` with no header skip; the header word at ``ref - 1``
+  holds the clause's *end offset* (one add cheaper than a size on every
+  scan) and is only consulted off the blocker fast path.  Offset 0 holds a
+  sentinel so no live ref is 0, and refs double as reason markers
+  (``-1`` = no reason).
+* **Watcher lists** — per literal, *parallel* int lists of clause refs and
+  cached blocker literals.  The dominant skip path (blocker already true)
+  touches only the blocker list; binary clauses use dedicated parallel
+  implication lists of (implied_lit, clause_ref) and never move watches.
+* **Reasons** — a flat per-variable list of clause refs.
+
+Deleted learnt clauses leave gaps in the arena; a compacting GC remaps all
+live refs *in place* (watch order preserved) once the waste crosses a
+threshold, so search behavior is unaffected by collection.
+
+The search is op-for-op identical to the list-based baseline kept in
+:mod:`.reference` — same decisions, conflicts, propagations, and models —
+which the randomized differential suite asserts.  Diversification knobs
+(``seed``, ``restart_base``, ``var_decay``, ``phase_init``,
+``random_decision_freq``) support portfolio solving; their defaults
+reproduce the baseline bit-identically.
 
 The solver answers ``True`` (satisfiable), ``False`` (unsatisfiable) or
 ``None`` (conflict budget exhausted).  It supports solving under assumptions
-and incremental clause addition between calls, which the load-balancing
-property uses for its lazy linear-arithmetic refinement loop.
+and incremental clause addition between calls.
 
 With ``preprocess_enabled`` (off by default at this layer; the SMT facade
 turns it on), :meth:`solve` first runs the SatELite-style simplification
-pipeline in :mod:`.preprocess` — subsumption, self-subsuming resolution,
-pure-literal and bounded variable elimination — under the frozen-variable
-protocol: variables registered via :meth:`freeze` (assumption and
-activation literals, model-readable leaves) are never eliminated, a
-reconstruction stack keeps :meth:`model_value` exact for variables that
-were, and clauses added later over eliminated variables transparently
-restore them.
+pipeline in :mod:`.preprocess` under the frozen-variable protocol; the
+preprocessor reads and replaces the clause database exclusively through
+the accessor contract (:meth:`clause_lists` / :meth:`learnt_lists` /
+:meth:`install_clauses`), never through the raw arena.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
+import random
+from array import array
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .preprocess import PreprocessConfig, Preprocessor, root_simplify
 
 __all__ = ["SatSolver"]
 
 _UNDEF = -1
+_NO_REASON = -1
+
+# Compact the arena once this many ints are dead *and* they exceed half
+# the arena (amortizes the remap over real fragmentation only).
+_GC_MIN_WASTE = 16384
 
 
 class _VarOrder:
@@ -137,24 +166,63 @@ def _luby_sequence(x: int) -> int:
 
 
 class SatSolver:
-    """CDCL solver over variables numbered from 1 (DIMACS convention)."""
+    """CDCL solver over variables numbered from 1 (DIMACS convention).
 
-    def __init__(self) -> None:
+    Args:
+        seed: RNG seed for the diversification knobs below; ``None``
+            (the default) disables all randomness.
+        restart_base: Luby restart unit in conflicts.
+        var_decay: VSIDS activity decay factor per conflict.
+        phase_init: initial saved phase per variable — ``"false"``,
+            ``"true"``, or ``"random"`` (requires ``seed``).
+        random_decision_freq: probability of replacing a VSIDS pick
+            with a random unassigned variable (requires ``seed``).
+
+    The defaults reproduce :class:`~.reference.ReferenceSatSolver`
+    bit-identically; non-default values are the portfolio's
+    diversification surface (see :mod:`.portfolio`).
+    """
+
+    def __init__(self, seed: Optional[int] = None, restart_base: int = 128,
+                 var_decay: float = 0.95, phase_init: str = "false",
+                 random_decision_freq: float = 0.0) -> None:
+        if phase_init not in ("false", "true", "random"):
+            raise ValueError(f"unknown phase_init {phase_init!r}")
+        if phase_init == "random" and seed is None:
+            raise ValueError("phase_init='random' requires a seed")
+        if random_decision_freq and seed is None:
+            raise ValueError("random_decision_freq requires a seed")
+        self.seed = seed
+        self.restart_base = restart_base
+        self.var_decay = var_decay
+        self.phase_init = phase_init
+        self.random_decision_freq = random_decision_freq
+        self._decision_rng = random.Random(seed) if seed is not None else None
+        self._phase_rng = (random.Random((seed << 1) ^ 0x9E3779B9)
+                           if phase_init == "random" else None)
+        self._default_phase = 1 if phase_init == "true" else 0
+
         self.num_vars = 0
         self._assign: List[int] = []      # per var: 0 false, 1 true, -1 undef
         self._level: List[int] = []       # per var: decision level
-        self._reason: List[Optional[list]] = []
+        self._reason: List[int] = []      # per var: clause ref or -1
         self._phase: List[int] = []       # saved phase per var (0/1)
         self._activity: List[float] = []
         self._var_inc = 1.0
-        # watches[lit]: clauses to inspect when ``lit`` becomes true
-        # (i.e. clauses watching ``lit ^ 1``), as [clause, blocker] pairs.
-        self._watches: List[List[list]] = [[], []]
-        # binary[lit]: (implied, clause) pairs — two-literal clauses get a
-        # dedicated implication list and never move watches.
-        self._binary: List[List[tuple]] = [[], []]
-        self._clauses: List[list] = []    # problem clauses
-        self._learnts: List[list] = []
+        # Flat clause arena; see the module docstring for the layout.
+        self._arena: List[int] = [0]
+        self._wasted = 0                  # dead ints awaiting compaction
+        self._clause_refs: List[int] = []  # problem clause refs
+        self._learnt_refs: List[int] = []  # learnt clause refs
+        # Parallel watcher arrays, indexed by the literal that just became
+        # true: _watch_refs[lit][k] is a clause watching ``lit ^ 1`` and
+        # _watch_blk[lit][k] its cached blocker.
+        self._watch_refs: List[List[int]] = [[], []]
+        self._watch_blk: List[List[int]] = [[], []]
+        # Parallel binary implication arrays: _bin_lits[lit][k] is implied
+        # when ``lit`` becomes true; _bin_refs[lit][k] the clause ref.
+        self._bin_lits: List[List[int]] = [[], []]
+        self._bin_refs: List[List[int]] = [[], []]
         self._cla_inc = 1.0
         self._trail: List[int] = []
         self._trail_lim: List[int] = []
@@ -162,7 +230,7 @@ class SatSolver:
         self._order = _VarOrder(self._activity)
         self._unsat = False
         self._seen: List[int] = []
-        self._clause_act: dict = {}
+        self._clause_act: Dict[int, float] = {}   # ref -> activity
         # --- preprocessing state (see preprocess.py) -------------------
         # Off by default so raw SatSolver users (and white-box tests) get
         # untouched CDCL; the SMT facade enables it per EncoderOptions.
@@ -214,15 +282,18 @@ class SatSolver:
         All monotone except ``learned`` (live learned-clause count),
         ``live_clauses`` (live problem-clause count) and ``eliminated``
         (currently eliminated variables, which shrinks on restore).
+        ``learned_deleted`` counts every learnt clause ever discarded —
+        by DB reduction, preprocessing, or root simplification — so
+        portfolio aggregation can sum it across workers.
         """
         return {
             "conflicts": self.conflicts,
             "decisions": self.decisions,
             "propagations": self.propagations,
             "restarts": self.restarts,
-            "learned": len(self._learnts),
+            "learned": len(self._learnt_refs),
             "learned_deleted": self.learned_deleted,
-            "live_clauses": len(self._clauses),
+            "live_clauses": len(self._clause_refs),
             "eliminated": len(self._eliminated),
             "pp_runs": self.pp_runs,
             "pp_units": self.pp_units,
@@ -247,16 +318,46 @@ class SatSolver:
             self.num_vars += 1
             self._assign.append(_UNDEF)
             self._level.append(0)
-            self._reason.append(None)
-            self._phase.append(0)
+            self._reason.append(_NO_REASON)
+            if self._phase_rng is not None:
+                self._phase.append(self._phase_rng.getrandbits(1))
+            else:
+                self._phase.append(self._default_phase)
             self._activity.append(0.0)
             self._seen.append(0)
-            self._watches.append([])
-            self._watches.append([])
-            self._binary.append([])
-            self._binary.append([])
+            self._watch_refs.append([])
+            self._watch_refs.append([])
+            self._watch_blk.append([])
+            self._watch_blk.append([])
+            self._bin_lits.append([])
+            self._bin_lits.append([])
+            self._bin_refs.append([])
+            self._bin_refs.append([])
             self._order.grow(self.num_vars - 1)
             self._order.push(self.num_vars - 1)
+
+    def _alloc(self, lits: Sequence[int]) -> int:
+        """Append a clause to the arena; returns its ref (lit0 offset)."""
+        arena = self._arena
+        ref = len(arena) + 1
+        arena.append(ref + len(lits))
+        arena.extend(lits)
+        return ref
+
+    def clause_lits(self, ref: int) -> List[int]:
+        """The literals of the clause at ``ref`` (a copy)."""
+        arena = self._arena
+        return list(arena[ref:arena[ref - 1]])
+
+    def arena_view(self) -> memoryview:
+        """Int32 memoryview snapshot of the clause arena (introspection).
+
+        The live arena is a flat Python list — on CPython, list indexing
+        returns shared cached ints while ``array('i')`` boxes a fresh int
+        per read, a ~20% BCP tax measured on random 3-SAT — so the int32
+        typed view is materialized on demand rather than kept live.
+        """
+        return memoryview(array("i", self._arena))
 
     def add_clause(self, dimacs_lits: Iterable[int]) -> bool:
         """Add a clause (DIMACS literals).  Returns False iff now trivially
@@ -304,22 +405,91 @@ class SatSolver:
                 self._unsat = True
                 return False
             return True
-        self._attach(lits)
-        self._clauses.append(lits)
+        ref = self._alloc(lits)
+        self._attach(ref)
+        self._clause_refs.append(ref)
         return True
 
-    def _attach(self, clause: list) -> None:
-        if len(clause) == 2:
-            a, b = clause
-            self._binary[a ^ 1].append((b, clause))
-            self._binary[b ^ 1].append((a, clause))
+    def _attach(self, ref: int) -> None:
+        arena = self._arena
+        a = arena[ref]
+        b = arena[ref + 1]
+        if arena[ref - 1] - ref == 2:
+            self._bin_lits[a ^ 1].append(b)
+            self._bin_refs[a ^ 1].append(ref)
+            self._bin_lits[b ^ 1].append(a)
+            self._bin_refs[b ^ 1].append(ref)
             return
-        self._watches[clause[0] ^ 1].append([clause, clause[1]])
-        self._watches[clause[1] ^ 1].append([clause, clause[0]])
+        self._watch_refs[a ^ 1].append(ref)
+        self._watch_blk[a ^ 1].append(b)
+        self._watch_refs[b ^ 1].append(ref)
+        self._watch_blk[b ^ 1].append(a)
 
     # ------------------------------------------------------------------
-    # Preprocessing interface
+    # Preprocessing interface (accessor contract — see docs/SOLVER.md)
     # ------------------------------------------------------------------
+
+    def clause_lists(self) -> List[List[int]]:
+        """Live problem clauses as lists of internal literals."""
+        return [self.clause_lits(ref) for ref in self._clause_refs]
+
+    def learnt_lists(self) -> List[Tuple[List[int], Optional[float]]]:
+        """Live learnt clauses with their activities (None if unbumped)."""
+        act = self._clause_act
+        return [(self.clause_lits(ref), act.get(ref))
+                for ref in self._learnt_refs]
+
+    def root_literals(self) -> List[int]:
+        """Root-level trail literals (internal encoding, a copy).
+
+        These are facts not represented in :meth:`clause_lists` — a
+        caller exporting the clause database (the portfolio path) must
+        ship them as unit clauses.
+        """
+        if self._trail_lim:
+            return list(self._trail[:self._trail_lim[0]])
+        return list(self._trail)
+
+    @property
+    def root_conflict(self) -> bool:
+        """True once the formula is known unsatisfiable at the root."""
+        return self._unsat
+
+    def install_clauses(self, problem: List[List[int]],
+                        learnts: List[Tuple[List[int], Optional[float]]]) -> None:
+        """Replace the clause database wholesale and rebuild the watches.
+
+        Root-level only.  The arena is rebuilt from scratch (a full
+        compaction), watches and binary lists are reattached, and
+        propagation state is cleared (``qhead`` back to 0, trail reasons
+        dropped) so the caller's root trail re-propagates through the
+        new structures.  Clause activities not carried in ``learnts``
+        are discarded.
+        """
+        self._arena = [0]
+        self._wasted = 0
+        self._clause_refs = []
+        self._learnt_refs = []
+        self._clause_act = {}
+        size = 2 * self.num_vars + 2
+        self._watch_refs = [[] for _ in range(size)]
+        self._watch_blk = [[] for _ in range(size)]
+        self._bin_lits = [[] for _ in range(size)]
+        self._bin_refs = [[] for _ in range(size)]
+        for lits in problem:
+            ref = self._alloc(lits)
+            self._attach(ref)
+            self._clause_refs.append(ref)
+        for lits, activity in learnts:
+            ref = self._alloc(lits)
+            self._attach(ref)
+            self._learnt_refs.append(ref)
+            if activity is not None:
+                self._clause_act[ref] = activity
+        self._qhead = 0
+        reason = self._reason
+        for lit in self._trail:
+            reason[lit >> 1] = _NO_REASON
 
     def freeze(self, dimacs_var: int) -> None:
         """Protect a variable from elimination by the preprocessor.
@@ -379,8 +549,9 @@ class SatSolver:
             if not self._enqueue(out[0], None):
                 self._unsat = True
             return
-        self._attach(out)
-        self._clauses.append(out)
+        ref = self._alloc(out)
+        self._attach(ref)
+        self._clause_refs.append(ref)
 
     def simplify(self, force: bool = False) -> bool:
         """Run the preprocessing pipeline at the root level.
@@ -393,13 +564,13 @@ class SatSolver:
         """
         if self._unsat:
             return False
-        if not self._clauses and not self._learnts:
+        if not self._clause_refs and not self._learnt_refs:
             return True
         config = self.preprocess_config or PreprocessConfig()
         if not force:
-            if len(self._clauses) < config.min_clauses:
+            if len(self._clause_refs) < config.min_clauses:
                 return True
-            grown = len(self._clauses) - self._pp_clause_mark
+            grown = len(self._clause_refs) - self._pp_clause_mark
             if (self.pp_runs
                     and grown < max(256, self._pp_clause_mark // 8)):
                 return True
@@ -413,12 +584,31 @@ class SatSolver:
         self.pp_eliminated_vars += pre.stats["eliminated_vars"]
         self.pp_resolvents += pre.stats["resolvents"]
         self.pp_removed_clauses += pre.stats["removed_clauses"]
-        self._pp_clause_mark = len(self._clauses)
+        self._pp_clause_mark = len(self._clause_refs)
         self._last_root_size = len(self._trail)
         return ok
 
     def _extend_model(self) -> List[int]:
-        """Snapshot the assignment, extended over eliminated variables.
+        """Snapshot the assignment, extended over eliminated variables."""
+        return self._reconstruct_model(list(self._assign))
+
+    def extend_external_model(self, values: Sequence[bool]) -> List[bool]:
+        """Extend an externally-produced satisfying assignment.
+
+        ``values`` (indexed by internal var; short lists are padded
+        with False) must satisfy this solver's *current* clause
+        database — e.g. a portfolio worker's model over the CNF this
+        solver exported after preprocessing.  Replays the
+        reconstruction stack so the variables this solver eliminated
+        get the same witness values a local solve would have produced.
+        """
+        model = [1 if v else 0 for v in values]
+        if len(model) < self.num_vars:
+            model.extend([0] * (self.num_vars - len(model)))
+        return [v == 1 for v in self._reconstruct_model(model)]
+
+    def _reconstruct_model(self, model: List[int]) -> List[int]:
+        """Extend ``model`` in place over eliminated variables.
 
         Replays the reconstruction stack in reverse: each block's
         witness defaults to false and flips to true iff one of the
@@ -434,7 +624,6 @@ class SatSolver:
         (the first met in the reversed walk) reflects the clause set at
         its latest elimination, so later duplicates are skipped.
         """
-        model = list(self._assign)
         extended = set()
         for witness, block in reversed(self._reconstruction):
             var = witness >> 1
@@ -468,14 +657,14 @@ class SatSolver:
             return _UNDEF
         return v ^ (lit & 1)
 
-    def _enqueue(self, lit: int, reason: Optional[list]) -> bool:
+    def _enqueue(self, lit: int, reason: Optional[int]) -> bool:
         val = self._lit_value(lit)
         if val != _UNDEF:
             return val == 1
         var = lit >> 1
         self._assign[var] = 1 - (lit & 1)
         self._level[var] = len(self._trail_lim)
-        self._reason[var] = reason
+        self._reason[var] = _NO_REASON if reason is None else reason
         self._trail.append(lit)
         return True
 
@@ -492,7 +681,7 @@ class SatSolver:
             var = lit >> 1
             phase[var] = assign[var]
             assign[var] = _UNDEF
-            self._reason[var] = None
+            self._reason[var] = _NO_REASON
             order.push(var)
         del trail[bound:]
         del self._trail_lim[level:]
@@ -503,6 +692,15 @@ class SatSolver:
     # ------------------------------------------------------------------
 
     def _pick_branch_var(self) -> int:
+        rng = self._decision_rng
+        if (rng is not None and self.random_decision_freq
+                and self._order.heap
+                and rng.random() < self.random_decision_freq):
+            # Random pick from the heap (lazy deletion keeps assigned
+            # vars in it; fall through to VSIDS if we hit one).
+            var = self._order.heap[rng.randrange(len(self._order.heap))]
+            if self._assign[var] == _UNDEF and var not in self._eliminated:
+                return var
         order = self._order
         assign = self._assign
         eliminated = self._eliminated
@@ -525,19 +723,24 @@ class SatSolver:
     # Propagation
     # ------------------------------------------------------------------
 
-    def _propagate(self) -> Optional[list]:
-        """Unit propagation; returns a conflicting clause or None.
+    def _propagate(self) -> Optional[int]:
+        """Unit propagation; returns a conflicting clause ref or None.
 
-        Binary clauses propagate through dedicated implication lists; longer
-        clauses use two watched literals with cached blockers (a satisfied
-        blocker skips the clause without touching it).
+        Binary clauses propagate through dedicated implication arrays;
+        longer clauses use two watched literals with cached blockers.
+        The blocker-satisfied skip path — the vast majority of watch
+        visits — reads only the blocker array and writes nothing unless
+        a prior entry in this list already moved away.
         """
-        watches = self._watches
-        binary = self._binary
+        watch_refs = self._watch_refs
+        watch_blk = self._watch_blk
+        bin_lits = self._bin_lits
+        bin_refs = self._bin_refs
         assign = self._assign
         trail = self._trail
         level = self._level
         reason = self._reason
+        arena = self._arena
         qhead = self._qhead
         while qhead < len(trail):
             lit = trail[qhead]
@@ -545,77 +748,83 @@ class SatSolver:
             self.propagations += 1
             level_now = len(self._trail_lim)
             # Binary implications first (cheap, cache-friendly).
-            for implied, clause in binary[lit]:
-                var = implied >> 1
-                value = assign[var]
-                if value == _UNDEF:
-                    assign[var] = 1 - (implied & 1)
-                    level[var] = level_now
-                    reason[var] = clause
-                    trail.append(implied)
-                elif (value ^ (implied & 1)) == 0:
-                    self._qhead = len(trail)
-                    return clause
+            blits = bin_lits[lit]
+            if blits:
+                brefs = bin_refs[lit]
+                for p, implied in enumerate(blits):
+                    var = implied >> 1
+                    value = assign[var]
+                    if value == _UNDEF:
+                        assign[var] = 1 - (implied & 1)
+                        level[var] = level_now
+                        reason[var] = brefs[p]
+                        trail.append(implied)
+                    elif (value ^ (implied & 1)) == 0:
+                        self._qhead = len(trail)
+                        return brefs[p]
             # ``lit`` became true, so the in-clause literal ``lit ^ 1``
             # became false; clauses watching it live in watches[lit].
             false_lit = lit ^ 1
-            watch_list = watches[lit]
+            refs = watch_refs[lit]
+            blks = watch_blk[lit]
             i = 0
             j = 0
-            n = len(watch_list)
+            n = len(refs)
             while i < n:
-                entry = watch_list[i]
-                i += 1
-                blocker = entry[1]
+                blocker = blks[i]
                 vb = assign[blocker >> 1]
                 if vb != _UNDEF and (vb ^ (blocker & 1)) == 1:
-                    watch_list[j] = entry
+                    if j != i:
+                        refs[j] = refs[i]
+                        blks[j] = blocker
+                    i += 1
                     j += 1
                     continue
-                clause = entry[0]
+                ref = refs[i]
+                i += 1
                 # Normalize: the false literal goes to slot 1.
-                if clause[0] == false_lit:
-                    clause[0] = clause[1]
-                    clause[1] = false_lit
-                first = clause[0]
+                first = arena[ref]
+                if first == false_lit:
+                    first = arena[ref + 1]
+                    arena[ref] = first
+                    arena[ref + 1] = false_lit
                 v0 = assign[first >> 1]
                 if v0 != _UNDEF and (v0 ^ (first & 1)) == 1:
-                    entry[1] = first
-                    watch_list[j] = entry
+                    refs[j] = ref
+                    blks[j] = first
                     j += 1
                     continue
                 # Look for a new literal to watch.
                 found = False
-                for k in range(2, len(clause)):
-                    lk = clause[k]
+                for k in range(ref + 2, arena[ref - 1]):
+                    lk = arena[k]
                     vk = assign[lk >> 1]
                     if vk == _UNDEF or (vk ^ (lk & 1)) == 1:
-                        clause[1] = lk
-                        clause[k] = false_lit
-                        entry[1] = first
-                        watches[lk ^ 1].append(entry)
+                        arena[ref + 1] = lk
+                        arena[k] = false_lit
+                        watch_refs[lk ^ 1].append(ref)
+                        watch_blk[lk ^ 1].append(first)
                         found = True
                         break
                 if found:
                     continue
-                entry[1] = first
-                watch_list[j] = entry
+                refs[j] = ref
+                blks[j] = first
                 j += 1
                 if v0 != _UNDEF:  # first is false: conflict
-                    while i < n:
-                        watch_list[j] = watch_list[i]
-                        j += 1
-                        i += 1
-                    del watch_list[j:]
+                    refs[j:] = refs[i:n]
+                    blks[j:] = blks[i:n]
                     self._qhead = len(trail)
-                    return clause
+                    return ref
                 # Unit: enqueue first.
                 var = first >> 1
                 assign[var] = 1 - (first & 1)
                 level[var] = level_now
-                reason[var] = clause
+                reason[var] = ref
                 trail.append(first)
-            del watch_list[j:]
+            if j != n:
+                del refs[j:]
+                del blks[j:]
         self._qhead = qhead
         return None
 
@@ -623,11 +832,12 @@ class SatSolver:
     # Conflict analysis
     # ------------------------------------------------------------------
 
-    def _analyze(self, conflict: list) -> tuple:
+    def _analyze(self, conflict: int) -> tuple:
         """First-UIP learning.  Returns (learnt_clause, backtrack_level)."""
         seen = self._seen
         trail = self._trail
         level = self._level
+        arena = self._arena
         cur_level = len(self._trail_lim)
         learnt = [0]  # slot 0 for the asserting literal
         counter = 0
@@ -637,8 +847,8 @@ class SatSolver:
         while True:
             self._bump_clause(reason)
             start = 1 if lit != -1 else 0
-            for k in range(start, len(reason)):
-                q = reason[k]
+            for k in range(reason + start, arena[reason - 1]):
+                q = arena[k]
                 var = q >> 1
                 if not seen[var] and level[var] > 0:
                     seen[var] = 1
@@ -658,10 +868,11 @@ class SatSolver:
                 break
             reason = self._reason[var]
             # Reorder the reason clause so its asserting literal is first.
-            if reason[0] != lit:
-                for k in range(1, len(reason)):
-                    if reason[k] == lit:
-                        reason[0], reason[k] = reason[k], reason[0]
+            if arena[reason] != lit:
+                for k in range(reason + 1, arena[reason - 1]):
+                    if arena[k] == lit:
+                        arena[k] = arena[reason]
+                        arena[reason] = lit
                         break
         learnt[0] = lit ^ 1
         # Mark remaining literals for minimization bookkeeping.
@@ -689,11 +900,13 @@ class SatSolver:
     def _redundant(self, lit: int) -> bool:
         """Local minimization: drop literals implied by the others."""
         reason = self._reason[lit >> 1]
-        if reason is None:
+        if reason < 0:
             return False
         seen = self._seen
         level = self._level
-        for q in reason:
+        arena = self._arena
+        for k in range(reason, arena[reason - 1]):
+            q = arena[k]
             if q == (lit ^ 1) or q == lit:
                 continue
             var = q >> 1
@@ -701,11 +914,11 @@ class SatSolver:
                 return False
         return True
 
-    def _bump_clause(self, clause: list) -> None:
-        # Clause activities are tracked in a side table keyed by id() to keep
-        # the clause representation a bare list for propagation speed.
-        act = self._clause_act.get(id(clause), 0.0) + self._cla_inc
-        self._clause_act[id(clause)] = act
+    def _bump_clause(self, ref: int) -> None:
+        # Clause activities live in a side table keyed by arena ref; the
+        # GC remaps keys on compaction.
+        act = self._clause_act.get(ref, 0.0) + self._cla_inc
+        self._clause_act[ref] = act
         if act > 1e20:
             inv = 1e-20
             for key in self._clause_act:
@@ -717,36 +930,81 @@ class SatSolver:
     # ------------------------------------------------------------------
 
     def _reduce_db(self) -> None:
-        learnts = self._learnts
+        learnts = self._learnt_refs
         act = self._clause_act
+        arena = self._arena
         locked = set()
+        reason = self._reason
         for var in range(self.num_vars):
-            r = self._reason[var]
-            if r is not None:
-                locked.add(id(r))
-        learnts.sort(key=lambda c: act.get(id(c), 0.0))
+            r = reason[var]
+            if r >= 0:
+                locked.add(r)
+        learnts.sort(key=lambda ref: act.get(ref, 0.0))
         keep_from = len(learnts) // 2
         removed = []
         kept = []
-        for i, clause in enumerate(learnts):
-            if i < keep_from and len(clause) > 2 and id(clause) not in locked:
-                removed.append(clause)
+        for i, ref in enumerate(learnts):
+            if i < keep_from and arena[ref - 1] - ref > 2 and ref not in locked:
+                removed.append(ref)
             else:
-                kept.append(clause)
-        for clause in removed:
-            self._detach(clause)
-            act.pop(id(clause), None)
-        self._learnts = kept
+                kept.append(ref)
+        for ref in removed:
+            self._detach(ref)
+            act.pop(ref, None)
+            self._wasted += arena[ref - 1] - ref + 1
+        self._learnt_refs = kept
         self.learned_deleted += len(removed)
+        if (self._wasted > _GC_MIN_WASTE
+                and self._wasted * 2 > len(arena)):
+            self._compact()
 
-    def _detach(self, clause: list) -> None:
-        for lit in (clause[0], clause[1]):
-            lst = self._watches[lit ^ 1]
-            for idx, entry in enumerate(lst):
-                if entry[0] is clause:
-                    lst[idx] = lst[-1]
-                    lst.pop()
+    def _detach(self, ref: int) -> None:
+        arena = self._arena
+        for lit in (arena[ref], arena[ref + 1]):
+            refs = self._watch_refs[lit ^ 1]
+            blks = self._watch_blk[lit ^ 1]
+            for p in range(len(refs)):
+                if refs[p] == ref:
+                    refs[p] = refs[-1]
+                    blks[p] = blks[-1]
+                    refs.pop()
+                    blks.pop()
                     break
+
+    def _compact(self) -> None:
+        """Rebuild the arena without dead gaps, remapping refs in place.
+
+        Order-preserving: clause ref lists, watch/binary entries and
+        reason refs are rewritten to the new offsets without reordering
+        anything, so the search continues exactly as it would have
+        without collection.
+        """
+        arena = self._arena
+        new: List[int] = [0]
+        remap: Dict[int, int] = {}
+        for refs in (self._clause_refs, self._learnt_refs):
+            for i, ref in enumerate(refs):
+                end = arena[ref - 1]
+                nref = len(new) + 1
+                new.append(nref + end - ref)
+                new.extend(arena[ref:end])
+                remap[ref] = nref
+                refs[i] = nref
+        for lst in self._watch_refs:
+            for p in range(len(lst)):
+                lst[p] = remap[lst[p]]
+        for lst in self._bin_refs:
+            for p in range(len(lst)):
+                lst[p] = remap[lst[p]]
+        reason = self._reason
+        for var in range(self.num_vars):
+            r = reason[var]
+            if r >= 0:
+                reason[var] = remap[r]
+        self._clause_act = {remap[ref]: activity
+                            for ref, activity in self._clause_act.items()}
+        self._arena = new
+        self._wasted = 0
 
     # ------------------------------------------------------------------
     # Main search
@@ -786,10 +1044,12 @@ class SatSolver:
             return False
 
         budget_left = conflict_budget
+        restart_base = self.restart_base
         restart_index = 0
-        restart_limit = 128 * _luby_sequence(restart_index)
+        restart_limit = restart_base * _luby_sequence(restart_index)
         conflicts_here = 0
-        max_learnts = max(2000, len(self._clauses) // 2)
+        max_learnts = max(2000, len(self._clause_refs) // 2)
+        var_decay = self.var_decay
 
         progress_interval = self.progress_interval
         progress_hook = self.progress_hook
@@ -828,19 +1088,20 @@ class SatSolver:
                         self._unsat = True
                         return False
                 else:
-                    self._attach(learnt)
-                    self._learnts.append(learnt)
-                    self._clause_act[id(learnt)] = self._cla_inc
-                    self._enqueue(learnt[0], learnt)
-                self._var_inc /= 0.95
+                    ref = self._alloc(learnt)
+                    self._attach(ref)
+                    self._learnt_refs.append(ref)
+                    self._clause_act[ref] = self._cla_inc
+                    self._enqueue(learnt[0], ref)
+                self._var_inc /= var_decay
                 self._cla_inc /= 0.999
-                if len(self._learnts) > max_learnts:
+                if len(self._learnt_refs) > max_learnts:
                     self._reduce_db()
                     max_learnts = int(max_learnts * 1.3)
                 if conflicts_here >= restart_limit:
                     conflicts_here = 0
                     restart_index += 1
-                    restart_limit = 128 * _luby_sequence(restart_index)
+                    restart_limit = restart_base * _luby_sequence(restart_index)
                     self.restarts += 1
                     self._cancel_until(0)
                     # Light inprocessing: once enough new root facts have

@@ -280,3 +280,40 @@ class TestStats:
         assert result.encode_shared_seconds > 0
         assert result.encode_seconds == pytest.approx(
             result.encode_shared_seconds + result.encode_query_seconds)
+
+
+class TestPoolFallback:
+    def test_pool_failure_warns_and_counts(self, monkeypatch):
+        """A broken process pool must not silently degrade to serial.
+
+        The fallback still has to produce correct results, but it must
+        emit a RuntimeWarning and tick the engine.pool_fallback counter
+        so operators can see why a parallel batch ran at serial speed.
+        """
+        from repro import obs
+        from repro.core import engine as engine_mod
+
+        class ExplodingPool:
+            def __init__(self, *args, **kwargs):
+                raise OSError("spawn forbidden in this test")
+
+        monkeypatch.setattr(engine_mod, "ProcessPoolExecutor",
+                            ExplodingPool)
+        network = ospf_chain(3)
+        queries = query_matrix()
+        tracer = obs.Tracer()
+        with obs.use(tracer):
+            with pytest.warns(RuntimeWarning,
+                              match="process pool failed"):
+                results = verify_batch(network, queries, workers=2)
+        assert tracer.metrics.counter("engine.pool_fallback").value == 1
+        serial = verify_batch(network, queries, workers=1)
+        assert [r.holds for r in results] == [r.holds for r in serial]
+
+    def test_healthy_pool_does_not_tick_fallback(self):
+        from repro import obs
+        network = ospf_chain(3)
+        tracer = obs.Tracer()
+        with obs.use(tracer):
+            verify_batch(network, query_matrix(), workers=2)
+        assert tracer.metrics.counter("engine.pool_fallback").value == 0

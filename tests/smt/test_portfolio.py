@@ -1,0 +1,235 @@
+"""Portfolio racing: determinism under skew, facade/verifier integration.
+
+The contract under test (see ``repro/smt/sat/portfolio.py``): for a
+fixed seed set, the verdict and — for SAT — the reported model are a
+function of the seed set alone, never of which worker happens to finish
+first.  The ``_TEST_DELAYS`` hook skews worker start times arbitrarily
+to prove it.
+"""
+
+import random
+
+import pytest
+
+from repro.smt import SAT, Solver, UNKNOWN, UNSAT, bool_var, not_, or_
+from repro.smt.sat import portfolio as pf
+from repro.smt.sat.portfolio import (
+    PortfolioConfig,
+    PortfolioError,
+    default_configs,
+    race,
+)
+
+
+@pytest.fixture(autouse=True)
+def clear_delays():
+    pf._TEST_DELAYS.clear()
+    yield
+    pf._TEST_DELAYS.clear()
+
+
+def random_cnf(seed, n=60, ratio=4.0):
+    rng = random.Random(seed)
+    return [[v if rng.random() < 0.5 else -v
+             for v in rng.sample(range(1, n + 1), 3)]
+            for _ in range(int(n * ratio))]
+
+
+def pigeonhole(n):
+    import itertools
+    clauses = []
+
+    def var(i, j):
+        return i * n + j + 1
+
+    for i in range(n + 1):
+        clauses.append([var(i, j) for j in range(n)])
+    for j in range(n):
+        for a, b in itertools.combinations(range(n + 1), 2):
+            clauses.append([-var(a, j), -var(b, j)])
+    return clauses, (n + 1) * n
+
+
+class TestDefaultConfigs:
+    def test_seed_zero_is_vanilla(self):
+        configs = default_configs(4)
+        assert configs[0] == PortfolioConfig(seed=0)
+        assert [c.seed for c in configs] == [0, 1, 2, 3]
+
+    def test_diversified_beyond_base_variants(self):
+        configs = default_configs(10)
+        assert len({c.seed for c in configs}) == 10
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            default_configs(0)
+
+
+class TestRaceDeterminism:
+    # Two configs with provably different models on (a or b): the
+    # vanilla config decides var 1 false (phase "false") forcing b; the
+    # phase-"true" config decides var 1 true.  The canonical winner is
+    # always seed 0, whatever the finish order.
+    CONFIGS = [PortfolioConfig(seed=0),
+               PortfolioConfig(seed=1, phase_init="true")]
+
+    def _race(self):
+        return race([[1, 2]], 2, configs=self.CONFIGS, timeout=60)
+
+    def test_sat_model_ignores_finish_order(self):
+        baseline = self._race()
+        assert baseline.outcome is True
+        assert baseline.winner.seed == 0
+        assert baseline.model == [False, True]
+        # Now skew hard: seed 0 sleeps while seed 1 reports instantly
+        # with its different model; the race must still wait for and
+        # prefer seed 0.
+        pf._TEST_DELAYS.update({0: 0.5})
+        skewed = self._race()
+        assert skewed.outcome is True
+        assert skewed.winner.seed == 0
+        assert skewed.model == baseline.model
+
+    def test_unsat_verdict_ignores_finish_order(self):
+        clauses, num_vars = pigeonhole(4)
+        for delays in ({}, {0: 0.4}, {1: 0.4}):
+            pf._TEST_DELAYS.clear()
+            pf._TEST_DELAYS.update(delays)
+            result = race(clauses, num_vars,
+                          configs=default_configs(2), timeout=60)
+            assert result.outcome is False
+            assert result.model is None
+
+    def test_higher_seed_sat_wins_only_if_lower_seeds_blank(self):
+        # With a conflict budget of 0 conflicts allowed... instead force
+        # the decision via distinct outcomes: every config solves this
+        # instantly, so the lowest seed must win even when delayed.
+        configs = default_configs(3)
+        pf._TEST_DELAYS.update({0: 0.3, 1: 0.15})
+        result = race([[1, 2], [-1, 2]], 2, configs=configs, timeout=60)
+        assert result.outcome is True
+        assert result.winner.seed == 0
+
+    def test_unknown_when_all_budgets_exhausted(self):
+        clauses, num_vars = pigeonhole(7)
+        result = race(clauses, num_vars, conflict_budget=20,
+                      configs=default_configs(2), timeout=60)
+        assert result.outcome is None
+        assert result.model is None
+        assert set(result.worker_outcomes) == {0, 1}
+
+    def test_rejects_duplicate_seeds(self):
+        with pytest.raises(ValueError):
+            race([[1]], 1,
+                 configs=[PortfolioConfig(seed=3), PortfolioConfig(seed=3)])
+
+
+class TestFacadeIntegration:
+    def test_portfolio_model_valid_and_deterministic(self):
+        def build(portfolio):
+            s = Solver(portfolio=portfolio)
+            a, b, c = (bool_var(f"pfm_{x}") for x in "abc")
+            s.add(or_(a, b, c))
+            s.add(not_(a))
+            s.add(or_(not_(b), c))
+            return s
+
+        serial, raced = build(1), build(3)
+        assert serial.check() is SAT and raced.check() is SAT
+        # The raced model must satisfy every assertion (it may be a
+        # different satisfying assignment than the serial one: workers
+        # search the parent's already-simplified CNF).
+        model = raced.model()
+        for term in raced.assertions():
+            assert model.eval(term) is True
+        # Determinism: skewing the finish order must not change the
+        # reported model (canonical winner = lowest verdict seed).
+        pf._TEST_DELAYS.update({0: 0.4})
+        skewed = build(3)
+        assert skewed.check() is SAT
+        assert skewed.model().env() == model.env()
+
+    def test_portfolio_unsat_and_reuse(self):
+        s = Solver(portfolio=2)
+        a = bool_var("pfu_a")
+        s.add(a)
+        assert s.check() is SAT
+        assert s.model().value("pfu_a") is True
+        s.add(not_(a))
+        assert s.check() is UNSAT
+
+    def test_portfolio_unknown_on_budget(self):
+        import itertools
+        s = Solver(conflict_budget=10, portfolio=2)
+        holes = [[bool_var(f"pfb_{p}_{h}") for h in range(5)]
+                 for p in range(6)]
+        for pigeon in holes:
+            s.add(or_(*pigeon))
+        for h in range(5):
+            for p1, p2 in itertools.combinations(range(6), 2):
+                s.add(or_(not_(holes[p1][h]), not_(holes[p2][h])))
+        assert s.check() is UNKNOWN
+
+    def test_portfolio_assumptions(self):
+        s = Solver(portfolio=2)
+        a, b = bool_var("pfa_a"), bool_var("pfa_b")
+        s.add(or_(a, b))
+        assert s.check([not_(a)]) is SAT
+        assert s.model().value("pfa_b") is True
+        assert s.check([not_(a), not_(b)]) is UNSAT
+        assert s.check() is SAT
+
+    def test_rejects_bad_portfolio(self):
+        with pytest.raises(ValueError):
+            Solver(portfolio=0)
+
+    def test_fallback_warns_counts_and_still_answers(self, monkeypatch):
+        from repro import obs
+        import repro.smt.solver as facade_mod
+
+        def broken_race(*args, **kwargs):
+            raise PortfolioError("forced by test")
+
+        monkeypatch.setattr(facade_mod, "race", broken_race)
+        s = Solver(portfolio=2)
+        a = bool_var("pff_a")
+        s.add(a)
+        tracer = obs.Tracer()
+        with obs.use(tracer):
+            with pytest.warns(RuntimeWarning,
+                              match="portfolio solving unavailable"):
+                outcome = s.check()
+        assert outcome is SAT
+        assert s.model().value("pff_a") is True
+        assert tracer.metrics.counter("sat.portfolio_fallback").value == 1
+
+
+class TestVerifierIntegration:
+    def test_verify_with_portfolio_matches_serial(self):
+        from repro import NetworkBuilder, Verifier
+        from repro.core import properties as P
+        from repro.core.encoder import EncoderOptions
+
+        b = NetworkBuilder()
+        for name in ("R1", "R2", "R3"):
+            b.device(name).enable_ospf()
+            b.device(name).ospf_network("10.0.0.0/8")
+        b.link("R1", "R2")
+        b.link("R2", "R3")
+        b.device("R3").interface("host", "10.9.0.1/24")
+        network = b.build()
+        prop = P.Reachability(sources="all", dest_prefix_text="10.9.0.0/24")
+
+        serial = Verifier(network).verify(prop)
+        raced = Verifier(network, options=EncoderOptions(
+            portfolio=2)).verify(prop)
+        assert raced.holds is serial.holds is True
+
+        # A violated property must carry a counterexample either way.
+        broken = P.Reachability(sources=["R1"],
+                                dest_prefix_text="172.20.0.0/16")
+        serial_v = Verifier(network).verify(broken)
+        raced_v = Verifier(network, options=EncoderOptions(
+            portfolio=2)).verify(broken)
+        assert raced_v.holds is serial_v.holds is False
+        assert raced_v.counterexample is not None

@@ -119,3 +119,65 @@ def test_progress_interval_zero_disables_sampling():
     solver.progress_hook = fired.append
     assert solver.solve() is False
     assert fired == []
+
+
+def test_stats_monotone_across_simplify_solve_cycles():
+    """Interleaved simplify()/solve() cycles must keep every cumulative
+    counter monotone — in particular learned_deleted, which also absorbs
+    learnt clauses dropped by preprocessing and root simplification, not
+    just DB reduction."""
+    rng = random.Random(13)
+    n = 80
+    solver = SatSolver()
+    solver.preprocess_enabled = True
+    cumulative = ("conflicts", "decisions", "propagations", "restarts",
+                  "learned_deleted", "pp_runs", "pp_units",
+                  "pp_pure_literals", "pp_subsumed", "pp_strengthened",
+                  "pp_eliminated_vars", "pp_resolvents",
+                  "pp_removed_clauses", "pp_restored_vars",
+                  "inprocess_runs", "inprocess_removed")
+    previous = solver.stats()
+    cycles_run = 0
+    for cycle in range(4):
+        for _ in range(120):
+            lits = rng.sample(range(1, n + 1), 3)
+            solver.add_clause([lit if rng.random() < 0.5 else -lit
+                               for lit in lits])
+        still_sat = solver.simplify(force=True)
+        mid = solver.stats()
+        for key in cumulative:
+            assert mid[key] >= previous[key], f"{key} shrank in simplify"
+        outcome = solver.solve()
+        assert outcome in (True, False)
+        current = solver.stats()
+        for key in cumulative:
+            assert current[key] >= mid[key], f"{key} shrank in solve"
+        previous = current
+        cycles_run += 1
+        if not still_sat or not outcome:
+            break  # formula went UNSAT; counters stay frozen from here
+    assert cycles_run >= 2, "formula went UNSAT too early to exercise cycles"
+
+
+def test_learned_deleted_counts_preprocess_drops():
+    """A learnt clause discarded because preprocessing eliminated one of
+    its variables must show up in learned_deleted."""
+    rng = random.Random(5)
+    n = 60
+    solver = SatSolver()
+    solver.preprocess_enabled = True
+    for _ in range(240):
+        lits = rng.sample(range(1, n + 1), 3)
+        solver.add_clause([lit if rng.random() < 0.5 else -lit
+                           for lit in lits])
+    # Accumulate learnts without preprocessing having run yet.
+    first = solver.solve(conflict_budget=400)
+    stats_before = solver.stats()
+    if first is not None and stats_before["learned"] > 0:
+        solver.simplify(force=True)
+        stats_after = solver.stats()
+        dropped = stats_before["learned"] - stats_after["learned"]
+        assert (stats_after["learned_deleted"]
+                >= stats_before["learned_deleted"] + max(0, dropped) - 0)
+        assert (stats_after["learned_deleted"]
+                >= stats_before["learned_deleted"])

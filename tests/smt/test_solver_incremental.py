@@ -46,14 +46,11 @@ class TestIncrementalAdd:
         assert s.check() is SAT
         loaded_after_first = s._num_clauses_loaded
         assert loaded_after_first == len(s._cnf.clauses)
-        sat_clauses_after_first = len(s._sat._clauses) + \
-            sum(len(lst) for lst in s._sat._binary) // 2
+        sat_clauses_after_first = s._sat.stats()["live_clauses"]
         # Re-checking without new assertions must not reload anything.
         assert s.check() is SAT
         assert s._num_clauses_loaded == loaded_after_first
-        assert len(s._sat._clauses) + \
-            sum(len(lst) for lst in s._sat._binary) // 2 == \
-            sat_clauses_after_first
+        assert s._sat.stats()["live_clauses"] == sat_clauses_after_first
         # New assertions load only the delta.
         s.add(or_(b, c))
         assert s.check() is SAT

@@ -38,6 +38,7 @@ check: lint analyze
 	PYTHONPATH=src:. python benchmarks/run_obs_smoke.py
 	PYTHONPATH=src:. python benchmarks/run_preprocess_smoke.py --pods 2
 	PYTHONPATH=src:. python benchmarks/run_satcore_smoke.py --pods 2
+	PYTHONPATH=src:. python benchmarks/run_diff_smoke.py --pods 2
 
 # Regenerate every table/figure of the paper's evaluation (quick subset).
 tables:

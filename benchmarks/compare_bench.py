@@ -2,8 +2,8 @@
 
 CI runs the smoke benchmarks (``run_batch_smoke``, ``run_obs_smoke``,
 ``run_preprocess_smoke``) on every push, then calls this script to
-diff the fresh ``BENCH_<name>.json`` files at the repo root against
-the committed snapshots in ``benchmarks/baselines/``.  Only
+diff the fresh ``BENCH_<name>.json`` files in ``benchmarks/out/``
+against the committed snapshots in ``benchmarks/baselines/``.  Only
 ratio-style metrics are gated — speedups, overhead percentages,
 reduction percentages — never raw seconds, which vary with the
 runner.  Each gate has a tolerance band sized for CI noise.  Gates on
@@ -32,7 +32,8 @@ from typing import Optional
 
 ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 BASELINE_DIR = os.path.join(ROOT, "benchmarks", "baselines")
-BENCHES = ("batch", "obs", "preprocess", "satcore")
+OUT_DIR = os.path.join(ROOT, "benchmarks", "out")
+BENCHES = ("batch", "obs", "preprocess", "satcore", "diff")
 
 
 @dataclass
@@ -91,6 +92,16 @@ GATES = [
     Gate("satcore", "portfolio_deterministic", True, floor=1.0),
     Gate("satcore", "props_per_sec", True, rel_tol=0.5, hard=False),
     Gate("satcore", "solve_ratio", True, rel_tol=0.5, hard=False),
+    # Differential verification: verdict identity with full re-solving,
+    # the exact expected re-verify set, and the seeded flip are all
+    # deterministic — hard floors at 1.0.  The warm-cache speedup over
+    # a fresh verification of the NEW tree is timing-derived: warn-only
+    # above the 3x acceptance floor.
+    Gate("diff", "verdict_match", True, floor=1.0),
+    Gate("diff", "reverify_exact", True, floor=1.0),
+    Gate("diff", "flip_match", True, floor=1.0),
+    Gate("diff", "cloud_verdict_match", True, floor=1.0),
+    Gate("diff", "speedup", True, rel_tol=0.65, floor=3.0, hard=False),
 ]
 
 # Exact command to regenerate a bench at the baseline configuration —
@@ -101,10 +112,14 @@ RERUN = {
     "batch": "PYTHONPATH=src:. python benchmarks/run_batch_smoke.py",
     "obs": "PYTHONPATH=src:. python benchmarks/run_obs_smoke.py --pods {pods}",
     "preprocess": (
-        "PYTHONPATH=src:. python benchmarks/run_preprocess_smoke.py --pods {pods}"
+        "PYTHONPATH=src:. python benchmarks/run_preprocess_smoke.py"
+        " --pods {pods}"
     ),
     "satcore": (
         "PYTHONPATH=src:. python benchmarks/run_satcore_smoke.py --pods {pods}"
+    ),
+    "diff": (
+        "PYTHONPATH=src:. python benchmarks/run_diff_smoke.py --pods {pods}"
     ),
 }
 
@@ -115,7 +130,7 @@ def _load(path: str) -> dict:
 
 
 def _fresh_path(bench: str) -> str:
-    return os.path.join(ROOT, f"BENCH_{bench}.json")
+    return os.path.join(OUT_DIR, f"BENCH_{bench}.json")
 
 
 def _baseline_path(bench: str) -> str:

@@ -20,10 +20,20 @@ import time
 from contextlib import contextmanager
 from typing import Any, Dict, Iterable, List, Sequence
 
-__all__ = ["SCALE", "is_full", "cloud_indices", "fattree_pods",
-           "print_table", "timed", "emit_metrics"]
+__all__ = ["SCALE", "OUT_DIR", "is_full", "cloud_indices",
+           "fattree_pods", "out_path", "print_table", "timed",
+           "emit_metrics"]
 
 SCALE = os.environ.get("REPRO_SCALE", "quick")
+
+#: Where smoke runs drop their artifacts (gitignored; uploaded by CI).
+OUT_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "out")
+
+
+def out_path(filename: str) -> str:
+    """Absolute path of an artifact in ``benchmarks/out/`` (created)."""
+    os.makedirs(OUT_DIR, exist_ok=True)
+    return os.path.join(OUT_DIR, filename)
 
 
 def is_full() -> bool:
@@ -70,7 +80,7 @@ def timed():
 
 def emit_metrics(name: str, payload: Dict[str, Any],
                  tracer=None) -> str:
-    """Write a ``BENCH_<name>.json`` metrics file next to the repo root.
+    """Write a ``BENCH_<name>.json`` metrics file to ``benchmarks/out/``.
 
     ``payload`` carries the benchmark's own numbers (timings, counts);
     with a ``tracer``, its metrics snapshot and a per-phase duration
@@ -88,8 +98,7 @@ def emit_metrics(name: str, payload: Dict[str, Any],
             row["total_seconds"] += span["duration"]
         doc["phases"] = phases
         doc["metrics"] = tracer.metrics.snapshot()
-    path = os.path.join(os.path.dirname(os.path.dirname(
-        os.path.abspath(__file__))), f"BENCH_{name}.json")
+    path = out_path(f"BENCH_{name}.json")
     with open(path, "w") as handle:
         json.dump(doc, handle, indent=1, sort_keys=True)
     print(f"metrics written to {path}")

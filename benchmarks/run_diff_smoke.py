@@ -1,0 +1,256 @@
+"""Differential-verification smoke check for `make check` / CI.
+
+Exercises the soundness contract of ``repro diff`` on two workloads:
+
+* **Fat-tree single edit** — renumber one ToR's rack (interface address
+  and BGP announcement) and diff the trees over per-rack reachability
+  and loop queries.  Hard-gated in ``compare_bench.py``: the diff's NEW
+  verdict column (the one the cache can influence) must be
+  bit-identical to an independent full verification of the NEW tree
+  (``verdict_match``), only the edited rack's queries may be re-solved
+  (``reverify_exact``), and the single expected reachability flip must
+  surface as a new violation with a counterexample (``flip_match``).
+* **Cloud corpus** — the same edit/diff/replay cycle on a generated
+  cloud network (clean class, index 120): verdict identity is hard-gated
+  (``cloud_verdict_match``) and at least one verdict must replay.
+
+The edited rack gets a reachability query but no loop query: the edit
+de-originates its /24, and proving loop-freedom for a prefix with no
+routes anywhere is the solver's worst case (minutes at 4 pods) — a
+hardness benchmark, not a differential one.  The other racks' loop
+queries still exercise replay under the structural (widened) cone.
+
+The warm-cache speedup against a fresh full verification of the NEW
+tree (the steady-state CI scenario) is timing-derived and warn-only.
+
+Writes ``benchmarks/out/BENCH_diff.json``.  ``--pods 2`` (the default)
+keeps ``make check`` fast; CI runs ``--pods 4``.
+"""
+
+import argparse
+import os
+import sys
+import tempfile
+import time
+
+from repro.core import BatchQuery, properties as P, verify_batch
+from repro.diff import VerdictCache, diff_trees
+from repro.gen import build_cloud_network, build_fattree
+from repro.lang.writer import write_config
+from repro.net import ip as iplib, load_network
+
+from benchmarks.harness import emit_metrics, print_table
+
+
+def write_tree(network, directory, rename=None):
+    """Write a config tree; ``rename=(device, old, new)`` edits one
+    device's text on the way out."""
+    os.makedirs(directory, exist_ok=True)
+    for name, dev in network.devices.items():
+        text = write_config(dev)
+        if rename and name == rename[0]:
+            text = text.replace(rename[1], rename[2])
+        with open(os.path.join(directory, f"{name}.cfg"), "w") as fh:
+            fh.write(text)
+
+
+def rack_queries(subnets, skip_loops=()):
+    """Per-rack reachability + loop-freedom at the rack /24.
+
+    ``skip_loops`` names racks whose loop query is omitted (see the
+    module docstring: loop-freedom for a de-originated prefix is a
+    solver worst case, not a differential scenario)."""
+    queries = []
+    for label, subnet in subnets:
+        queries.append(
+            BatchQuery(
+                prop=P.Reachability(sources="all", dest_prefix_text=subnet),
+                label=f"reach-{label}",
+            )
+        )
+        if label not in skip_loops:
+            queries.append(
+                BatchQuery(
+                    prop=P.NoForwardingLoops(dest_prefix_text=subnet),
+                    label=f"loops-{label}",
+                )
+            )
+    return queries
+
+
+def run_scenario(network, edited_device, old_text, new_text, subnets, workers):
+    """Write trees, run cold + warm diffs, time a fresh NEW verify.
+
+    Returns (cold_report, warm_report, warm_seconds, fresh_new_seconds,
+    match) with ``match`` the verdict identity of the cold diff's NEW
+    column against an independent full verification of the NEW tree.
+    That column is the one the cache can influence (it mixes replayed
+    and re-solved verdicts); the OLD column of a cold diff is itself a
+    full verification against an empty cache, so re-solving it again
+    would compare a fresh solve with a fresh solve.
+    """
+    queries = rack_queries(subnets, skip_loops={edited_device})
+    with tempfile.TemporaryDirectory() as tmp:
+        old_dir = os.path.join(tmp, "old")
+        new_dir = os.path.join(tmp, "new")
+        write_tree(network, old_dir)
+        write_tree(
+            network, new_dir, rename=(edited_device, old_text, new_text)
+        )
+
+        cache = VerdictCache()
+        cold = diff_trees(
+            old_dir, new_dir, queries, workers=workers, cache=cache
+        )
+        warm = diff_trees(
+            old_dir, new_dir, queries, workers=workers, cache=cache
+        )
+
+        start = time.perf_counter()
+        new_fresh = verify_batch(
+            load_network(new_dir), queries, workers=workers
+        )
+        fresh_new_s = time.perf_counter() - start
+
+        match = all(
+            q.new.holds == fresh.holds
+            for q, fresh in zip(cold.queries, new_fresh)
+        )
+    return cold, warm, warm.seconds, fresh_new_s, match
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--pods",
+        type=int,
+        default=2,
+        help="fat-tree pods (2 keeps `make check` fast; CI uses 4)",
+    )
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--cloud-index",
+        type=int,
+        default=120,
+        help="cloud-suite network for the corpus scenario "
+        "(120 = first clean-class network)",
+    )
+    args = parser.parse_args(argv)
+
+    failures = []
+
+    def check(ok: bool, what: str) -> None:
+        print(("ok  " if ok else "FAIL") + f"  {what}")
+        if not ok:
+            failures.append(what)
+
+    # --- fat-tree single-edit scenario -------------------------------
+    tree = build_fattree(args.pods)
+    edited = tree.tors[0]
+    subnets = [(t, tree.tor_subnet(t)) for t in tree.tors]
+    # "10.0.0.0/24" -> the "10.0.0." octet prefix the edit rewrites
+    old_rack = tree.tor_subnet(edited).split("/")[0].rsplit(".", 1)[0] + "."
+    cold, warm, warm_s, fresh_new_s, ft_match = run_scenario(
+        tree.network, edited, old_rack, "10.250.0.", subnets, args.workers
+    )
+
+    expected = {f"reach-{edited}"}
+    reverify_exact = (
+        set(cold.reverified()) == expected and not warm.reverified()
+    )
+    flips = cold.new_violations
+    flip_match = (
+        len(flips) == 1
+        and flips[0].name == f"reach-{edited}"
+        and flips[0].new.counterexample is not None
+        and cold.exit_code == 1
+        and warm.exit_code == 1
+    )
+    check(ft_match, "fat-tree: diff verdicts identical to full verification")
+    check(
+        reverify_exact,
+        f"fat-tree: re-solved exactly {sorted(expected)} "
+        f"(cold got {sorted(cold.reverified())}, warm "
+        f"{len(warm.reverified())})",
+    )
+    check(
+        flip_match,
+        "fat-tree: rack renumber surfaces one reachability flip "
+        "with a counterexample",
+    )
+    speedup = fresh_new_s / warm_s if warm_s else float("inf")
+
+    # --- cloud-corpus scenario ---------------------------------------
+    cloud = build_cloud_network(args.cloud_index)
+    cloud_subnets = []
+    for name, dev in sorted(cloud.network.devices.items()):
+        for iface in dev.interfaces.values():
+            if iface.name == "rack" and iface.address:
+                cloud_subnets.append(
+                    (name, iplib.format_prefix(*iface.subnet))
+                )
+    cloud_dev, cloud_subnet = cloud_subnets[-1]
+    cloud_rack = cloud_subnet.split("/")[0].rsplit(".", 1)[0] + "."
+    cloud_cold, cloud_warm, _, _, cloud_match = run_scenario(
+        cloud.network,
+        cloud_dev,
+        cloud_rack,
+        "10.77.0.",
+        cloud_subnets,
+        args.workers,
+    )
+    check(
+        cloud_match,
+        f"cloud {cloud.name}: diff verdicts identical to full verification",
+    )
+    cloud_replayed = len(cloud_cold.replayed())
+    check(
+        cloud_replayed > 0 and not cloud_warm.reverified(),
+        f"cloud {cloud.name}: cache replays verdicts "
+        f"({cloud_replayed} cold, all warm)",
+    )
+
+    print_table(
+        f"diff smoke (fat-tree {args.pods} pods + {cloud.name})",
+        ["queries", "re-solved", "replayed", "warm s", "fresh s", "speedup"],
+        [
+            [
+                len(cold.queries),
+                len(cold.reverified()),
+                len(cold.replayed()),
+                f"{warm_s:.2f}",
+                f"{fresh_new_s:.2f}",
+                f"{speedup:.1f}x",
+            ]
+        ],
+    )
+
+    emit_metrics(
+        "diff",
+        {
+            "pods": args.pods,
+            "cloud_index": args.cloud_index,
+            "queries": len(cold.queries),
+            "workers": args.workers,
+            "verdict_match": 1.0 if ft_match else 0.0,
+            "reverify_exact": 1.0 if reverify_exact else 0.0,
+            "flip_match": 1.0 if flip_match else 0.0,
+            "cloud_verdict_match": 1.0 if cloud_match else 0.0,
+            "cloud_replayed": cloud_replayed,
+            "reverified": len(cold.reverified()),
+            "replayed": len(cold.replayed()),
+            "warm_seconds": round(warm_s, 4),
+            "fresh_new_seconds": round(fresh_new_s, 4),
+            "speedup": round(speedup, 4),
+        },
+    )
+
+    if failures:
+        print(f"{len(failures)} check(s) failed", file=sys.stderr)
+        return 1
+    print("diff smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

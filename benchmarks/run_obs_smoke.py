@@ -13,8 +13,9 @@ telemetry invariants the tracing layer promises:
   at 25% for CI noise on a sub-second workload; the <2% claim is
   meaningful only at real workload sizes).
 
-Writes ``obs_smoke_trace.json`` (uploaded as a CI artifact) and
-``BENCH_obs.json``.  ``--pods 4`` reproduces the 20-router acceptance
+Writes ``benchmarks/out/obs_smoke_trace.json`` (uploaded as a CI
+artifact) and ``benchmarks/out/BENCH_obs.json``.  ``--pods 4``
+reproduces the 20-router acceptance
 configuration (~1 min on a laptop).
 """
 
@@ -27,7 +28,7 @@ from repro import obs
 from repro.core import BatchQuery, properties as P, verify_batch
 from repro.gen import build_fattree
 
-from benchmarks.harness import emit_metrics
+from benchmarks.harness import emit_metrics, out_path
 
 
 def _queries(tree, max_reach=4):
@@ -44,8 +45,12 @@ def main(argv=None) -> int:
                         help="fat-tree pods (4 = the 20-router "
                              "acceptance configuration)")
     parser.add_argument("--workers", type=int, default=2)
-    parser.add_argument("--trace-out", default="obs_smoke_trace.json")
+    parser.add_argument("--trace-out", default=None,
+                        help="trace artifact path (default: "
+                             "benchmarks/out/obs_smoke_trace.json)")
     args = parser.parse_args(argv)
+    if args.trace_out is None:
+        args.trace_out = out_path("obs_smoke_trace.json")
 
     tree = build_fattree(args.pods)
     network = tree.network

@@ -11,7 +11,7 @@ asserts the contract the pipeline promises:
   the clauses (the acceptance floor; measured >35% on fat-trees);
 * preprocessing actually ran (eliminated variables, subsumed clauses).
 
-Writes ``BENCH_preprocess.json`` with the clause-reduction and
+Writes ``benchmarks/out/BENCH_preprocess.json`` with the clause-reduction and
 solve-time ratios that ``compare_bench.py`` gates on.  ``--pods 4``
 (the default) is the 20-router acceptance configuration; ``--pods 2``
 keeps ``make check`` fast.

@@ -15,7 +15,7 @@ It also measures BCP throughput (``props_per_sec``) and the arena/
 reference solve-time ratio (``solve_ratio``; > 1 means the arena is
 faster).  Both are timing-derived and therefore warn-only in the gate.
 
-Writes ``BENCH_satcore.json``.  ``--pods 2`` (the default) keeps
+Writes ``benchmarks/out/BENCH_satcore.json``.  ``--pods 2`` (the default) keeps
 ``make check`` fast; CI runs ``--pods 4``.
 """
 

@@ -68,8 +68,7 @@ _LAZY = {
 def __getattr__(name: str):
     module = _LAZY.get(name)
     if module is None:
-        raise AttributeError(f"module {__name__!r} has no attribute "
-                             f"{name!r}")
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
     import importlib
 
     value = getattr(importlib.import_module(f".{module}", __name__), name)

@@ -39,13 +39,15 @@ class AnalysisError(RuntimeError):
     """
 
     def __init__(self, report: "Report") -> None:
-        errors = [d for d in report.diagnostics
-                  if d.severity is Severity.ERROR]
+        errors = [
+            d for d in report.diagnostics if d.severity is Severity.ERROR
+        ]
         summary = "; ".join(str(d) for d in errors[:5])
         if len(errors) > 5:
             summary += f"; ... ({len(errors) - 5} more)"
         super().__init__(
-            f"configuration analysis found {len(errors)} error(s): {summary}")
+            f"configuration analysis found {len(errors)} error(s): {summary}"
+        )
         self.report = report
 
 
@@ -60,9 +62,9 @@ class Diagnostic:
     rule_id: str
     severity: Severity
     message: str
-    device: str = ""                  # hostname, "" for network-level
-    file: str = ""                    # source file, "" if unknown
-    line: Optional[int] = None        # 1-based line in ``file``
+    device: str = ""  # hostname, "" for network-level
+    file: str = ""  # source file, "" if unknown
+    line: Optional[int] = None  # 1-based line in ``file``
 
     @property
     def span(self) -> str:
@@ -119,4 +121,5 @@ class Report:
         """Stable presentation order: file, line, rule id."""
         return sorted(
             self.diagnostics,
-            key=lambda d: (d.file or d.device, d.line or 0, d.rule_id))
+            key=lambda d: (d.file or d.device, d.line or 0, d.rule_id),
+        )

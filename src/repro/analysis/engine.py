@@ -15,28 +15,33 @@ from .registry import Finding, ParsedConfig, Rule, rules_for_scope
 __all__ = ["analyze_network", "analyze_configs", "analyze_device"]
 
 
-def _to_diagnostic(rule: Rule, finding: Finding,
-                   files: Dict[str, str]) -> Diagnostic:
+def _to_diagnostic(
+    rule: Rule, finding: Finding, files: Dict[str, str]
+) -> Diagnostic:
     return Diagnostic(
         rule_id=rule.id,
         severity=finding.severity or rule.severity,
         message=finding.message,
         device=finding.device,
         file=finding.file or files.get(finding.device, ""),
-        line=finding.line)
+        line=finding.line,
+    )
 
 
-def _run(rules: List[Rule], report: Report, files: Dict[str, str],
-         *args) -> None:
+def _run(
+    rules: List[Rule], report: Report, files: Dict[str, str], *args
+) -> None:
     for rule in rules:
         report.rules_run.append(rule.id)
-        report.extend(_to_diagnostic(rule, f, files)
-                      for f in rule.check(*args))
+        report.extend(
+            _to_diagnostic(rule, f, files) for f in rule.check(*args)
+        )
 
 
 def _source_files(devices: List[DeviceConfig]) -> Dict[str, str]:
-    return {dev.hostname: dev.source_file
-            for dev in devices if dev.source_file}
+    return {
+        dev.hostname: dev.source_file for dev in devices if dev.source_file
+    }
 
 
 def analyze_device(device: DeviceConfig) -> Report:
@@ -45,8 +50,9 @@ def analyze_device(device: DeviceConfig) -> Report:
     files = _source_files([device])
     for rule in rules_for_scope("device"):
         report.rules_run.append(rule.id)
-        report.extend(_to_diagnostic(rule, f, files)
-                      for f in rule.check(device))
+        report.extend(
+            _to_diagnostic(rule, f, files) for f in rule.check(device)
+        )
     return report
 
 
@@ -59,8 +65,9 @@ def analyze_network(network: Network, smt: bool = True) -> Report:
         for rule in rules_for_scope("device"):
             report.rules_run.append(rule.id)
             for device in devices:
-                report.extend(_to_diagnostic(rule, f, files)
-                              for f in rule.check(device))
+                report.extend(
+                    _to_diagnostic(rule, f, files) for f in rule.check(device)
+                )
     with obs.span("analysis.network"):
         _run(rules_for_scope("network"), report, files, network)
     if smt:
@@ -75,8 +82,7 @@ def analyze_network(network: Network, smt: bool = True) -> Report:
     return report
 
 
-def analyze_configs(texts: Dict[str, str],
-                    smt: bool = True) -> Report:
+def analyze_configs(texts: Dict[str, str], smt: bool = True) -> Report:
     """Analyze raw config texts (file name → contents).
 
     Runs the pre-topology rules (syntax errors, duplicate hostnames)
@@ -88,9 +94,11 @@ def analyze_configs(texts: Dict[str, str],
         try:
             config = parse_config(texts[filename], source=filename)
         except ConfigSyntaxError as exc:
-            parsed.append(ParsedConfig(filename=filename, error=exc,
-                                       error_line=exc.lineno))
-        except Exception as exc:   # defensive: still a SYN001
+            entry = ParsedConfig(
+                filename=filename, error=exc, error_line=exc.lineno
+            )
+            parsed.append(entry)
+        except Exception as exc:  # defensive: still a SYN001
             parsed.append(ParsedConfig(filename=filename, error=exc))
         else:
             parsed.append(ParsedConfig(filename=filename, config=config))

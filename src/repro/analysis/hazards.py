@@ -39,9 +39,9 @@ class DanglingReference:
     """A reference to a policy object that does not exist on the device."""
 
     device: str
-    kind: str                       # "prefix-list" | "community-list" | ...
-    name: str                       # the undefined object's name
-    context: str = ""               # e.g. "route-map clause seq 10"
+    kind: str  # "prefix-list" | "community-list" | ...
+    name: str  # the undefined object's name
+    context: str = ""  # e.g. "route-map clause seq 10"
     line: Optional[int] = None
 
     def __str__(self) -> str:
@@ -63,22 +63,29 @@ class DanglingReferenceError(RuntimeError):
 
 
 # Mode switches.  contextvars so threaded / re-entrant use stays correct.
-_collector: contextvars.ContextVar[Optional[List[DanglingReference]]] = \
+_collector: contextvars.ContextVar[Optional[List[DanglingReference]]] = (
     contextvars.ContextVar("dangling_collector", default=None)
-_strict: contextvars.ContextVar[bool] = \
-    contextvars.ContextVar("dangling_strict", default=False)
+)
+_strict: contextvars.ContextVar[bool] = contextvars.ContextVar(
+    "dangling_strict", default=False
+)
 
 # Warn-once memory for default mode (unbounded growth is fine: the key
 # space is the set of distinct misconfigurations, which is tiny).
 _warned: set = set()
 
 
-def dangling_reference(device: str, kind: str, name: str,
-                       context: str = "",
-                       line: Optional[int] = None) -> None:
+def dangling_reference(
+    device: str,
+    kind: str,
+    name: str,
+    context: str = "",
+    line: Optional[int] = None,
+) -> None:
     """Report one dangling reference through the active mode."""
-    ref = DanglingReference(device=device, kind=kind, name=name,
-                            context=context, line=line)
+    ref = DanglingReference(
+        device=device, kind=kind, name=name, context=context, line=line
+    )
     if _strict.get():
         raise DanglingReferenceError(ref)
     sink = _collector.get()

@@ -35,8 +35,7 @@ class PrunedClause:
     line: Optional[int] = None
 
     def __str__(self) -> str:
-        return (f"{self.device}: route-map {self.route_map!r} "
-                f"seq {self.seq}")
+        return f"{self.device}: route-map {self.route_map!r} seq {self.seq}"
 
 
 @dataclass
@@ -68,8 +67,9 @@ def prune_network(network: Network) -> "tuple[Network, PruneReport]":
         return _prune(network, report, dead_clause_indices)
 
 
-def _prune(network: Network, report: PruneReport,
-           dead_clause_indices) -> "tuple[Network, PruneReport]":
+def _prune(
+    network: Network, report: PruneReport, dead_clause_indices
+) -> "tuple[Network, PruneReport]":
     devices: List[DeviceConfig] = []
     for name in network.router_names():
         dev = network.device(name)
@@ -83,12 +83,15 @@ def _prune(network: Network, report: PruneReport,
                 continue
             changed = True
             ordered = sorted(rmap.clauses, key=lambda c: c.seq)
-            kept = tuple(c for i, c in enumerate(ordered)
-                         if i not in dead)
+            kept = tuple(c for i, c in enumerate(ordered) if i not in dead)
             for i in dead:
-                report.pruned.append(PrunedClause(
-                    device=name, route_map=map_name,
-                    seq=ordered[i].seq, line=ordered[i].line))
+                entry = PrunedClause(
+                    device=name,
+                    route_map=map_name,
+                    seq=ordered[i].seq,
+                    line=ordered[i].line,
+                )
+                report.pruned.append(entry)
             new_maps[map_name] = replace(rmap, clauses=kept)
         if changed:
             devices.append(replace_route_maps(dev, new_maps))
@@ -99,7 +102,8 @@ def _prune(network: Network, report: PruneReport,
     return Network(devices), report
 
 
-def replace_route_maps(dev: DeviceConfig,
-                       new_maps: Dict[str, RouteMap]) -> DeviceConfig:
+def replace_route_maps(
+    dev: DeviceConfig, new_maps: Dict[str, RouteMap]
+) -> DeviceConfig:
     """A shallow device copy with its route-map table swapped out."""
     return replace(dev, route_maps=new_maps)

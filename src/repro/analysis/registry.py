@@ -23,8 +23,14 @@ from typing import Callable, Dict, Iterable, List, Optional
 
 from .diagnostics import Severity
 
-__all__ = ["Finding", "ParsedConfig", "Rule", "rule", "all_rules",
-           "rules_for_scope"]
+__all__ = [
+    "Finding",
+    "ParsedConfig",
+    "Rule",
+    "rule",
+    "all_rules",
+    "rules_for_scope",
+]
 
 _SCOPES = ("device", "network", "configs", "smt")
 
@@ -36,8 +42,8 @@ class Finding:
     message: str
     device: str = ""
     line: Optional[int] = None
-    severity: Optional[Severity] = None   # override the rule's default
-    file: str = ""                        # override the engine's lookup
+    severity: Optional[Severity] = None  # override the rule's default
+    file: str = ""  # override the engine's lookup
 
 
 @dataclass(frozen=True)
@@ -45,8 +51,8 @@ class ParsedConfig:
     """One config file's parse outcome, as seen by ``configs``-scope rules."""
 
     filename: str
-    config: Optional[object] = None       # DeviceConfig on success
-    error: Optional[Exception] = None     # ConfigSyntaxError etc. on failure
+    config: Optional[object] = None  # DeviceConfig on success
+    error: Optional[Exception] = None  # ConfigSyntaxError etc. on failure
     error_line: Optional[int] = None
 
 
@@ -65,8 +71,9 @@ class Rule:
 _REGISTRY: Dict[str, Rule] = {}
 
 
-def rule(id: str, title: str, severity: Severity,
-         scope: str) -> Callable[[Callable], Callable]:
+def rule(
+    id: str, title: str, severity: Severity, scope: str
+) -> Callable[[Callable], Callable]:
     """Register ``check`` as an analysis rule.  Ids must be unique."""
     if scope not in _SCOPES:
         raise ValueError(f"unknown rule scope {scope!r}")
@@ -74,9 +81,14 @@ def rule(id: str, title: str, severity: Severity,
     def register(check: Callable[..., Iterable[Finding]]) -> Callable:
         if id in _REGISTRY:
             raise ValueError(f"duplicate rule id {id!r}")
-        _REGISTRY[id] = Rule(id=id, title=title, severity=severity,
-                             scope=scope, check=check,
-                             description=(check.__doc__ or "").strip())
+        _REGISTRY[id] = Rule(
+            id=id,
+            title=title,
+            severity=severity,
+            scope=scope,
+            check=check,
+            description=(check.__doc__ or "").strip(),
+        )
         return check
 
     return register
@@ -95,4 +107,4 @@ def rules_for_scope(scope: str) -> List[Rule]:
 
 def _load() -> None:
     """Import the rule modules (registration happens at import time)."""
-    from . import rules, smt_rules  # noqa: F401
+    from . import deps, rules, smt_rules  # noqa: F401

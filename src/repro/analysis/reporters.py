@@ -16,14 +16,15 @@ def format_text(report: Report) -> str:
     counts = {sev: report.count(sev) for sev in Severity}
     total = len(report.diagnostics)
     if total == 0:
-        summary = (f"analysis clean "
-                   f"({len(set(report.rules_run))} rules)")
+        summary = f"analysis clean ({len(set(report.rules_run))} rules)"
     else:
-        parts = [f"{counts[sev]} {sev}{'s' if counts[sev] != 1 else ''}"
-                 for sev in (Severity.ERROR, Severity.WARNING,
-                             Severity.INFO) if counts[sev]]
-        summary = f"{total} finding{'s' if total != 1 else ''}: " \
-            + ", ".join(parts)
+        parts = [
+            f"{counts[sev]} {sev}{'s' if counts[sev] != 1 else ''}"
+            for sev in (Severity.ERROR, Severity.WARNING, Severity.INFO)
+            if counts[sev]
+        ]
+        plural = "s" if total != 1 else ""
+        summary = f"{total} finding{plural}: " + ", ".join(parts)
     return "\n".join(lines + [summary])
 
 

@@ -22,6 +22,7 @@ __all__: List[str] = []
 # Device-scope: dangling references
 # ----------------------------------------------------------------------
 
+
 @rule("REF001", "undefined route-map reference", Severity.ERROR, "device")
 def undefined_route_map(device: DeviceConfig) -> Iterator[Finding]:
     """A BGP neighbor applies a route-map that is not defined.
@@ -35,15 +36,19 @@ def undefined_route_map(device: DeviceConfig) -> Iterator[Finding]:
     for nbr in device.bgp.neighbors:
         peer = iplib.format_ip(nbr.peer_ip)
         for attr, line_attr, direction in (
-                ("route_map_in", "route_map_in_line", "in"),
-                ("route_map_out", "route_map_out_line", "out")):
+            ("route_map_in", "route_map_in_line", "in"),
+            ("route_map_out", "route_map_out_line", "out"),
+        ):
             name = getattr(nbr, attr)
             if name is not None and name not in device.route_maps:
                 yield Finding(
-                    message=(f"neighbor {peer} applies undefined "
-                             f"route-map {name!r} ({direction})"),
+                    message=(
+                        f"neighbor {peer} applies undefined "
+                        f"route-map {name!r} ({direction})"
+                    ),
                     device=device.hostname,
-                    line=getattr(nbr, line_attr) or nbr.line)
+                    line=getattr(nbr, line_attr) or nbr.line,
+                )
 
 
 @rule("REF002", "undefined prefix-list reference", Severity.ERROR, "device")
@@ -59,13 +64,16 @@ def undefined_prefix_list(device: DeviceConfig) -> Iterator[Finding]:
             name = clause.match_prefix_list
             if name is not None and name not in device.prefix_lists:
                 yield Finding(
-                    message=(f"route-map {rmap.name!r} seq {clause.seq} "
-                             f"matches undefined prefix-list {name!r}"),
-                    device=device.hostname, line=clause.line)
+                    message=(
+                        f"route-map {rmap.name!r} seq {clause.seq} "
+                        f"matches undefined prefix-list {name!r}"
+                    ),
+                    device=device.hostname,
+                    line=clause.line,
+                )
 
 
-@rule("REF003", "undefined community-list reference", Severity.ERROR,
-      "device")
+@rule("REF003", "undefined community-list reference", Severity.ERROR, "device")
 def undefined_community_list(device: DeviceConfig) -> Iterator[Finding]:
     """A route-map clause matches on a community-list that is not defined."""
     for rmap in device.route_maps.values():
@@ -73,9 +81,13 @@ def undefined_community_list(device: DeviceConfig) -> Iterator[Finding]:
             name = clause.match_community_list
             if name is not None and name not in device.community_lists:
                 yield Finding(
-                    message=(f"route-map {rmap.name!r} seq {clause.seq} "
-                             f"matches undefined community-list {name!r}"),
-                    device=device.hostname, line=clause.line)
+                    message=(
+                        f"route-map {rmap.name!r} seq {clause.seq} "
+                        f"matches undefined community-list {name!r}"
+                    ),
+                    device=device.hostname,
+                    line=clause.line,
+                )
 
 
 @rule("REF004", "undefined ACL reference", Severity.ERROR, "device")
@@ -87,23 +99,27 @@ def undefined_acl(device: DeviceConfig) -> Iterator[Finding]:
     """
     for iface in device.interfaces.values():
         for attr, line_attr, direction in (
-                ("acl_in", "acl_in_line", "in"),
-                ("acl_out", "acl_out_line", "out")):
+            ("acl_in", "acl_in_line", "in"),
+            ("acl_out", "acl_out_line", "out"),
+        ):
             name = getattr(iface, attr)
             if name is not None and name not in device.acls:
                 yield Finding(
-                    message=(f"interface {iface.name} applies undefined "
-                             f"ACL {name!r} ({direction})"),
+                    message=(
+                        f"interface {iface.name} applies undefined "
+                        f"ACL {name!r} ({direction})"
+                    ),
                     device=device.hostname,
-                    line=getattr(iface, line_attr) or iface.line)
+                    line=getattr(iface, line_attr) or iface.line,
+                )
 
 
 # ----------------------------------------------------------------------
 # Device-scope: policy hygiene
 # ----------------------------------------------------------------------
 
-@rule("POL001", "defined but unused policy object", Severity.WARNING,
-      "device")
+
+@rule("POL001", "defined but unused policy object", Severity.WARNING, "device")
 def unused_policy(device: DeviceConfig) -> Iterator[Finding]:
     """A route-map, prefix-list, community-list or ACL is never applied.
 
@@ -132,18 +148,22 @@ def unused_policy(device: DeviceConfig) -> Iterator[Finding]:
         if iface.acl_out:
             used_acls.add(iface.acl_out)
     for kind, defined, used in (
-            ("route-map", device.route_maps, used_maps),
-            ("prefix-list", device.prefix_lists, used_plists),
-            ("community-list", device.community_lists, used_clists),
-            ("ACL", device.acls, used_acls)):
+        ("route-map", device.route_maps, used_maps),
+        ("prefix-list", device.prefix_lists, used_plists),
+        ("community-list", device.community_lists, used_clists),
+        ("ACL", device.acls, used_acls),
+    ):
         for name in sorted(set(defined) - used):
             yield Finding(
                 message=f"{kind} {name!r} is defined but never used",
-                device=device.hostname, line=defined[name].line)
+                device=device.hostname,
+                line=defined[name].line,
+            )
 
 
-@rule("POL002", "duplicate route-map sequence number", Severity.WARNING,
-      "device")
+@rule(
+    "POL002", "duplicate route-map sequence number", Severity.WARNING, "device"
+)
 def duplicate_route_map_seq(device: DeviceConfig) -> Iterator[Finding]:
     """Two clauses of one route-map share a sequence number.
 
@@ -155,9 +175,13 @@ def duplicate_route_map_seq(device: DeviceConfig) -> Iterator[Finding]:
         for clause in rmap.clauses:
             if clause.seq in seen:
                 yield Finding(
-                    message=(f"route-map {rmap.name!r} repeats sequence "
-                             f"number {clause.seq}"),
-                    device=device.hostname, line=clause.line)
+                    message=(
+                        f"route-map {rmap.name!r} repeats sequence "
+                        f"number {clause.seq}"
+                    ),
+                    device=device.hostname,
+                    line=clause.line,
+                )
             else:
                 seen[clause.seq] = clause.line or 0
 
@@ -176,16 +200,24 @@ def unresolvable_static(device: DeviceConfig) -> Iterator[Finding]:
         if sroute.interface is not None:
             if sroute.interface not in device.interfaces:
                 yield Finding(
-                    message=(f"static route {prefix} exits via undefined "
-                             f"interface {sroute.interface!r}"),
-                    device=device.hostname, line=sroute.line)
+                    message=(
+                        f"static route {prefix} exits via undefined "
+                        f"interface {sroute.interface!r}"
+                    ),
+                    device=device.hostname,
+                    line=sroute.line,
+                )
         elif sroute.next_hop_ip is not None:
             if device.interface_for_subnet(sroute.next_hop_ip) is None:
                 hop = iplib.format_ip(sroute.next_hop_ip)
                 yield Finding(
-                    message=(f"static route {prefix} has next-hop {hop} "
-                             "in no connected subnet"),
-                    device=device.hostname, line=sroute.line)
+                    message=(
+                        f"static route {prefix} has next-hop {hop} "
+                        "in no connected subnet"
+                    ),
+                    device=device.hostname,
+                    line=sroute.line,
+                )
 
 
 @rule("CFG001", "missing hostname", Severity.WARNING, "device")
@@ -198,12 +230,15 @@ def missing_hostname(device: DeviceConfig) -> Iterator[Finding]:
     if device.hostname == "unnamed" and device.hostname_line is None:
         yield Finding(
             message="config has no hostname directive",
-            device=device.hostname, line=1)
+            device=device.hostname,
+            line=1,
+        )
 
 
 # ----------------------------------------------------------------------
 # Network-scope: cross-device consistency
 # ----------------------------------------------------------------------
+
 
 def _address_owner(network: Network) -> Dict[int, Tuple[str, str]]:
     """address → (device, interface) for every configured address."""
@@ -227,24 +262,30 @@ def bgp_asymmetry(network: Network) -> Iterator[Finding]:
         dev = network.device(name)
         if not dev.bgp:
             continue
-        my_addresses = {i.address for i in dev.interfaces.values()
-                        if i.address}
+        my_addresses = {
+            i.address for i in dev.interfaces.values() if i.address
+        }
         for nbr in dev.bgp.neighbors:
             if nbr.peer_ip not in owner:
-                continue               # external peer: environment's job
+                continue  # external peer: environment's job
             peer_name, _ = owner[nbr.peer_ip]
             if peer_name == name:
                 continue
             peer_dev = network.device(peer_name)
             reciprocal = peer_dev.bgp is not None and any(
                 back.peer_ip in my_addresses
-                for back in peer_dev.bgp.neighbors)
+                for back in peer_dev.bgp.neighbors
+            )
             if not reciprocal:
                 peer = iplib.format_ip(nbr.peer_ip)
                 yield Finding(
-                    message=(f"BGP session to {peer} ({peer_name}) is not "
-                             f"configured on {peer_name}"),
-                    device=name, line=nbr.line)
+                    message=(
+                        f"BGP session to {peer} ({peer_name}) is not "
+                        f"configured on {peer_name}"
+                    ),
+                    device=name,
+                    line=nbr.line,
+                )
 
 
 @rule("TOP002", "BGP remote-as mismatch", Severity.ERROR, "network")
@@ -268,10 +309,14 @@ def remote_as_mismatch(network: Network) -> Iterator[Finding]:
             if peer_bgp is not None and nbr.remote_as != peer_bgp.asn:
                 peer = iplib.format_ip(nbr.peer_ip)
                 yield Finding(
-                    message=(f"neighbor {peer} ({peer_name}) declared as "
-                             f"AS {nbr.remote_as} but {peer_name} runs "
-                             f"AS {peer_bgp.asn}"),
-                    device=name, line=nbr.line)
+                    message=(
+                        f"neighbor {peer} ({peer_name}) declared as "
+                        f"AS {nbr.remote_as} but {peer_name} runs "
+                        f"AS {peer_bgp.asn}"
+                    ),
+                    device=name,
+                    line=nbr.line,
+                )
 
 
 @rule("TOP003", "interface subnet mismatch", Severity.WARNING, "network")
@@ -287,8 +332,7 @@ def subnet_mismatch(network: Network) -> Iterator[Finding]:
         for iface in network.device(name).interfaces.values():
             if iface.shutdown or not iface.address:
                 continue
-            by_subnet.setdefault(iface.subnet, []).append(
-                (name, iface.name))
+            by_subnet.setdefault(iface.subnet, []).append((name, iface.name))
             details[(name, iface.name)] = iface.line or 0
     reported = set()
     for (net, length), members in sorted(by_subnet.items()):
@@ -299,19 +343,22 @@ def subnet_mismatch(network: Network) -> Iterator[Finding]:
             for other in by_subnet.get(ancestor, ()):
                 for mine in members:
                     if other[0] == mine[0]:
-                        continue       # same device: not a link mismatch
+                        continue  # same device: not a link mismatch
                     key = tuple(sorted((mine, other)))
                     if key in reported:
                         continue
                     reported.add(key)
                     yield Finding(
-                        message=(f"{mine[0]}:{mine[1]} "
-                                 f"({iplib.format_prefix(net, length)}) "
-                                 f"overlaps {other[0]}:{other[1]} "
-                                 f"({iplib.format_prefix(*ancestor)}) "
-                                 "with a different mask"),
+                        message=(
+                            f"{mine[0]}:{mine[1]} "
+                            f"({iplib.format_prefix(net, length)}) "
+                            f"overlaps {other[0]}:{other[1]} "
+                            f"({iplib.format_prefix(*ancestor)}) "
+                            "with a different mask"
+                        ),
                         device=mine[0],
-                        line=details.get(mine) or None)
+                        line=details.get(mine) or None,
+                    )
 
 
 @rule("TOP004", "duplicate router-id", Severity.ERROR, "network")
@@ -330,9 +377,13 @@ def duplicate_router_id(network: Network) -> Iterator[Finding]:
             rid = proto.router_id
             if rid in seen and seen[rid] != name:
                 yield Finding(
-                    message=(f"router-id {iplib.format_ip(rid)} is also "
-                             f"configured on {seen[rid]}"),
-                    device=name, line=proto.router_id_line or proto.line)
+                    message=(
+                        f"router-id {iplib.format_ip(rid)} is also "
+                        f"configured on {seen[rid]}"
+                    ),
+                    device=name,
+                    line=proto.router_id_line or proto.line,
+                )
             else:
                 seen.setdefault(rid, name)
 
@@ -349,9 +400,13 @@ def duplicate_address(network: Network) -> Iterator[Finding]:
             if prior is not None and prior[0] != name:
                 addr = iplib.format_ip(iface.address)
                 yield Finding(
-                    message=(f"address {addr} on {iface.name} is also "
-                             f"configured on {prior[0]}:{prior[1]}"),
-                    device=name, line=iface.line)
+                    message=(
+                        f"address {addr} on {iface.name} is also "
+                        f"configured on {prior[0]}:{prior[1]}"
+                    ),
+                    device=name,
+                    line=iface.line,
+                )
             else:
                 seen.setdefault(iface.address, (name, iface.name))
 
@@ -360,14 +415,17 @@ def duplicate_address(network: Network) -> Iterator[Finding]:
 # Configs-scope: pre-topology checks on the raw file set
 # ----------------------------------------------------------------------
 
+
 @rule("SYN001", "configuration syntax error", Severity.ERROR, "configs")
 def syntax_error(parsed: List[ParsedConfig]) -> Iterator[Finding]:
     """A config file failed to parse."""
     for entry in parsed:
         if entry.error is not None:
             yield Finding(
-                message=str(entry.error), file=entry.filename,
-                line=entry.error_line)
+                message=str(entry.error),
+                file=entry.filename,
+                line=entry.error_line,
+            )
 
 
 @rule("TOP005", "duplicate hostname", Severity.ERROR, "configs")
@@ -384,9 +442,12 @@ def duplicate_hostname(parsed: List[ParsedConfig]) -> Iterator[Finding]:
         host = entry.config.hostname
         if host in seen:
             yield Finding(
-                message=(f"hostname {host!r} is also declared in "
-                         f"{seen[host]}"),
-                device=host, file=entry.filename,
-                line=entry.config.hostname_line or 1)
+                message=(
+                    f"hostname {host!r} is also declared in {seen[host]}"
+                ),
+                device=host,
+                file=entry.filename,
+                line=entry.config.hostname_line or 1,
+            )
         else:
             seen[host] = entry.filename

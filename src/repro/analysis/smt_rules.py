@@ -50,8 +50,13 @@ __all__ = ["clause_guards", "dead_clause_indices"]
 
 def _factory_for(device: DeviceConfig) -> RecordFactory:
     """A record factory whose community bits cover the device's lists."""
-    comms = sorted({c for clist in device.community_lists.values()
-                    for c in clist.communities})
+    comms = sorted(
+        {
+            c
+            for clist in device.community_lists.values()
+            for c in clist.communities
+        }
+    )
     return RecordFactory(Widths(), FieldSet(communities=tuple(comms)))
 
 
@@ -60,38 +65,41 @@ def _free_route(device: DeviceConfig, tag: str):
     factory = _factory_for(device)
     record = factory.fresh(f"{tag}.r")
     dst_ip = bv_var(f"{tag}.dstIp", 32)
-    wf = ule(record.prefix_len,
-             bv_val(32, factory.widths.prefix_len))
+    wf = ule(record.prefix_len, bv_val(32, factory.widths.prefix_len))
     return record, dst_ip, wf
 
 
-def _has_dangling_refs(clause: RouteMapClause,
-                       device: DeviceConfig) -> bool:
-    if clause.match_prefix_list is not None \
-            and clause.match_prefix_list not in device.prefix_lists:
+def _has_dangling_refs(clause: RouteMapClause, device: DeviceConfig) -> bool:
+    if (
+        clause.match_prefix_list is not None
+        and clause.match_prefix_list not in device.prefix_lists
+    ):
         return True
-    if clause.match_community_list is not None \
-            and clause.match_community_list not in device.community_lists:
+    if (
+        clause.match_community_list is not None
+        and clause.match_community_list not in device.community_lists
+    ):
         return True
     return False
 
 
-def clause_guards(device: DeviceConfig, rmap: RouteMap,
-                  tag: str = "shadow") -> Tuple[List[Term], Term,
-                                                List[RouteMapClause]]:
+def clause_guards(
+    device: DeviceConfig, rmap: RouteMap, tag: str = "shadow"
+) -> Tuple[List[Term], Term, List[RouteMapClause]]:
     """Per-clause match terms over one shared free route.
 
     Returns (guards, well-formedness term, clauses in seq order).
     """
     record, dst_ip, wf = _free_route(device, tag)
     clauses = sorted(rmap.clauses, key=lambda c: c.seq)
-    guards = [_clause_match_term(c, device, record, dst_ip, hoisted=True)
-              for c in clauses]
+    guards = [
+        _clause_match_term(c, device, record, dst_ip, hoisted=True)
+        for c in clauses
+    ]
     return guards, wf, clauses
 
 
-def dead_clause_indices(device: DeviceConfig,
-                        rmap: RouteMap) -> List[int]:
+def dead_clause_indices(device: DeviceConfig, rmap: RouteMap) -> List[int]:
     """Indices (into seq-sorted clauses) of provably shadowed clauses.
 
     Clauses with dangling references are skipped: their guard is FALSE
@@ -110,8 +118,7 @@ def dead_clause_indices(device: DeviceConfig,
 def _unreachable(guards: List[Term], index: int, wf: Term) -> bool:
     """Is ``guards[index] and not any(earlier guard)`` unsatisfiable?"""
     solver = Solver()
-    solver.add(wf, guards[index],
-               *[not_(g) for g in guards[:index]])
+    solver.add(wf, guards[index], *[not_(g) for g in guards[:index]])
     return solver.check() is UNSAT
 
 
@@ -126,6 +133,7 @@ def _fallthrough_unsat(guards: List[Term], wf: Term) -> bool:
 # Rules
 # ----------------------------------------------------------------------
 
+
 @rule("SMT001", "shadowed route-map clause", Severity.WARNING, "smt")
 def shadowed_route_map_clause(network: Network) -> Iterator[Finding]:
     """A route-map clause can never match: every route it would accept
@@ -139,10 +147,14 @@ def shadowed_route_map_clause(network: Network) -> Iterator[Finding]:
             for i in dead_clause_indices(device, rmap):
                 clause = clauses[i]
                 yield Finding(
-                    message=(f"route-map {rmap.name!r} seq {clause.seq} "
-                             "is shadowed by earlier clauses "
-                             "(proven unreachable)"),
-                    device=name, line=clause.line)
+                    message=(
+                        f"route-map {rmap.name!r} seq {clause.seq} "
+                        "is shadowed by earlier clauses "
+                        "(proven unreachable)"
+                    ),
+                    device=name,
+                    line=clause.line,
+                )
 
 
 @rule("SMT002", "shadowed prefix-list entry", Severity.WARNING, "smt")
@@ -155,15 +167,20 @@ def shadowed_prefix_list_entry(network: Network) -> Iterator[Finding]:
         for plist in device.prefix_lists.values():
             for i, entry in _dead_plist_entries(device, plist):
                 yield Finding(
-                    message=(f"prefix-list {plist.name!r} entry "
-                             f"{i + 1} ({entry.action} "
-                             f"{_entry_text(entry)}) is shadowed by "
-                             "earlier entries (proven unreachable)"),
-                    device=name, line=entry.line)
+                    message=(
+                        f"prefix-list {plist.name!r} entry "
+                        f"{i + 1} ({entry.action} "
+                        f"{_entry_text(entry)}) is shadowed by "
+                        "earlier entries (proven unreachable)"
+                    ),
+                    device=name,
+                    line=entry.line,
+                )
 
 
 def _entry_text(entry) -> str:
     from repro.net import ip as iplib
+
     text = iplib.format_prefix(entry.network, entry.length)
     if entry.ge is not None:
         text += f" ge {entry.ge}"
@@ -180,8 +197,10 @@ def _dead_plist_entries(device: DeviceConfig, plist: PrefixList):
     guards: List[Term] = []
     for entry in plist.entries:
         low, high = entry.bounds()
-        in_window = and_(ule(bv_val(low, width), record.prefix_len),
-                         ule(record.prefix_len, bv_val(high, width)))
+        in_window = and_(
+            ule(bv_val(low, width), record.prefix_len),
+            ule(record.prefix_len, bv_val(high, width)),
+        )
         bits_ok = fbm_const(dst_ip, entry.network, entry.length)
         guards.append(and_(in_window, bits_ok))
     out = []
@@ -204,19 +223,23 @@ def shadowed_acl_rule(network: Network) -> Iterator[Finding]:
                 src_ip=bv_var("aclshadow.srcIp", 32),
                 protocol=bv_var("aclshadow.proto", 8),
                 dst_port=bv_var("aclshadow.dport", 16),
-                src_port=bv_var("aclshadow.sport", 16))
+                src_port=bv_var("aclshadow.sport", 16),
+            )
             guards = [_acl_rule_term(r, packet) for r in acl.rules]
             for i, acl_rule in enumerate(acl.rules):
                 if _unreachable(guards, i, wf=and_()):
                     yield Finding(
-                        message=(f"ACL {acl.name!r} rule {i + 1} "
-                                 f"({acl_rule.action}) is shadowed by "
-                                 "earlier rules (proven unreachable)"),
-                        device=name, line=acl_rule.line)
+                        message=(
+                            f"ACL {acl.name!r} rule {i + 1} "
+                            f"({acl_rule.action}) is shadowed by "
+                            "earlier rules (proven unreachable)"
+                        ),
+                        device=name,
+                        line=acl_rule.line,
+                    )
 
 
-@rule("SMT004", "route-map is permit-all or deny-all", Severity.INFO,
-      "smt")
+@rule("SMT004", "route-map is permit-all or deny-all", Severity.INFO, "smt")
 def degenerate_route_map(network: Network) -> Iterator[Finding]:
     """A route-map accepts everything or rejects everything.
 
@@ -231,34 +254,47 @@ def degenerate_route_map(network: Network) -> Iterator[Finding]:
             if not rmap.clauses:
                 continue
             if any(_has_dangling_refs(c, device) for c in rmap.clauses):
-                continue           # REF002/REF003 own this map
+                continue  # REF002/REF003 own this map
             guards, wf, clauses = clause_guards(device, rmap)
             verdict = _degenerate_verdict(guards, wf, clauses)
             if verdict is not None:
                 yield Finding(
-                    message=(f"route-map {rmap.name!r} is equivalent to "
-                             f"{verdict}"),
-                    device=name, line=rmap.line)
+                    message=(
+                        f"route-map {rmap.name!r} is equivalent to {verdict}"
+                    ),
+                    device=name,
+                    line=rmap.line,
+                )
 
 
-def _degenerate_verdict(guards: List[Term], wf: Term,
-                        clauses: List[RouteMapClause]) -> Optional[str]:
-    reachable = [i for i in range(len(clauses))
-                 if not _unreachable(guards, i, wf)]
+def _degenerate_verdict(
+    guards: List[Term], wf: Term, clauses: List[RouteMapClause]
+) -> Optional[str]:
+    reachable = [
+        i for i in range(len(clauses)) if not _unreachable(guards, i, wf)
+    ]
     if all(clauses[i].action == DENY for i in reachable):
         return "deny-all"
     deny_reachable = any(clauses[i].action == DENY for i in reachable)
-    transforms = any(_transforms(clauses[i]) for i in reachable
-                     if clauses[i].action == PERMIT)
-    if (not deny_reachable and not transforms
-            and _fallthrough_unsat(guards, wf)):
+    transforms = any(
+        _transforms(clauses[i])
+        for i in reachable
+        if clauses[i].action == PERMIT
+    )
+    if (
+        not deny_reachable
+        and not transforms
+        and _fallthrough_unsat(guards, wf)
+    ):
         return "permit-all"
     return None
 
 
 def _transforms(clause: RouteMapClause) -> bool:
-    return (clause.set_local_pref is not None
-            or clause.set_metric is not None
-            or clause.set_med is not None
-            or bool(clause.add_communities)
-            or bool(clause.delete_communities))
+    return (
+        clause.set_local_pref is not None
+        or clause.set_metric is not None
+        or clause.set_med is not None
+        or bool(clause.add_communities)
+        or bool(clause.delete_communities)
+    )

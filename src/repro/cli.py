@@ -11,6 +11,8 @@ Examples::
     python -m repro verify-batch configs/ --property reachability \
         --property blackholes --dest-prefix 10.9.0.0/24 --workers 4
     python -m repro verify-batch configs/ --spec queries.json
+    python -m repro diff old-configs/ new-configs/ --spec queries.json \
+        --cache .repro-verdicts.json --json
     python -m repro verify-batch configs/ --property loops \
         --workers 4 --profile --trace run.trace.json
     python -m repro stats run.trace.json
@@ -88,32 +90,32 @@ def _build_parser() -> argparse.ArgumentParser:
         help="verify many properties in one run (shared encodings, "
              "optional process-pool parallelism)")
     batch.add_argument("configs")
-    batch.add_argument("--spec", default=None,
-                       help="JSON query-spec file: a list of objects, each "
-                            'like {"property": "reachability", "sources": '
-                            '["R1"], "dest_prefix": "10.9.0.0/24", '
-                            '"max_failures": 1, "label": "edge-reach"}')
-    batch.add_argument("--property", dest="properties", action="append",
-                       choices=PROPERTY_CHOICES, default=[],
-                       help="property to check (repeatable; each repeat "
-                            "makes one query from the shared flags below)")
-    batch.add_argument("--sources", nargs="*", default=None)
-    batch.add_argument("--dest-prefix", default=None)
-    batch.add_argument("--dest-peer", default=None)
-    batch.add_argument("--bound", type=int, default=4)
-    batch.add_argument("--waypoints", nargs="*", default=[])
-    batch.add_argument("--max-leak-length", type=int, default=24)
-    batch.add_argument("--max-failures", type=int, default=None)
-    batch.add_argument("--announced-by", nargs="*", default=[])
-    batch.add_argument("--workers", type=int, default=1,
-                       help="process-pool workers for query groups "
-                            "(1 = serial)")
+    _add_query_flags(batch)
     batch.add_argument("--no-preprocess", action="store_true",
                        help="disable SAT-level CNF preprocessing")
     batch.add_argument("--portfolio", type=int, default=1, metavar="N",
                        help="race N seeded solver processes per check "
                             "(1 = in-process serial solving)")
     _add_observability_flags(batch)
+
+    diff = sub.add_parser(
+        "diff",
+        help="differential verification of two config trees: replay "
+             "cached verdicts for queries whose dependency slice is "
+             "untouched, re-verify the rest, report verdict flips "
+             "(exit 0/1/2 = no new violations/new violations/error)")
+    diff.add_argument("old", help="directory with the OLD config tree")
+    diff.add_argument("new", help="directory with the NEW config tree")
+    _add_query_flags(diff)
+    diff.add_argument("--cache", default=None, metavar="FILE",
+                      help="verdict-cache file to read and update "
+                           "(omit for an in-memory cache: correct, but "
+                           "nothing carries over between runs)")
+    diff.add_argument("--json", action="store_true",
+                      help="machine-readable report on stdout")
+    diff.add_argument("--no-preprocess", action="store_true",
+                      help="disable SAT-level CNF preprocessing")
+    _add_observability_flags(diff)
 
     equiv = sub.add_parser("equivalence",
                            help="check local equivalence of two routers")
@@ -141,6 +143,30 @@ def _build_parser() -> argparse.ArgumentParser:
              "breakdown table plus recorded metrics)")
     stats.add_argument("trace", help="trace file (Chrome JSON or JSONL)")
     return parser
+
+
+def _add_query_flags(parser: argparse.ArgumentParser) -> None:
+    """Query-list flags shared by verify-batch and diff."""
+    parser.add_argument("--spec", default=None,
+                        help="JSON query-spec file: a list of objects, each "
+                             'like {"property": "reachability", "sources": '
+                             '["R1"], "dest_prefix": "10.9.0.0/24", '
+                             '"max_failures": 1, "label": "edge-reach"}')
+    parser.add_argument("--property", dest="properties", action="append",
+                        choices=PROPERTY_CHOICES, default=[],
+                        help="property to check (repeatable; each repeat "
+                             "makes one query from the shared flags below)")
+    parser.add_argument("--sources", nargs="*", default=None)
+    parser.add_argument("--dest-prefix", default=None)
+    parser.add_argument("--dest-peer", default=None)
+    parser.add_argument("--bound", type=int, default=4)
+    parser.add_argument("--waypoints", nargs="*", default=[])
+    parser.add_argument("--max-leak-length", type=int, default=24)
+    parser.add_argument("--max-failures", type=int, default=None)
+    parser.add_argument("--announced-by", nargs="*", default=[])
+    parser.add_argument("--workers", type=int, default=1,
+                        help="process-pool workers for query groups "
+                             "(1 = serial)")
 
 
 def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
@@ -352,7 +378,7 @@ def _batch_queries(args) -> List[BatchQuery]:
             assumptions=assumptions))
     if not queries:
         raise SystemExit(
-            "verify-batch needs --spec and/or at least one --property")
+            f"{args.command} needs --spec and/or at least one --property")
     return queries
 
 
@@ -383,6 +409,38 @@ def _cmd_verify_batch(args) -> int:
     holding = sum(1 for r in results if r.holds is True)
     print(f"{holding}/{len(results)} hold, total {total * 1e3:.1f} ms")
     return 0 if all(r.holds is True for r in results) else 1
+
+
+def _cmd_diff(args) -> int:
+    from repro.diff import (
+        DiffError,
+        VerdictCache,
+        diff_trees,
+        render_text,
+        to_json,
+    )
+
+    if args.workers < 1:
+        raise SystemExit("--workers must be >= 1")
+    cache = VerdictCache.load(args.cache) if args.cache else VerdictCache()
+    try:
+        with _observed(args):
+            queries = _batch_queries(args)
+            options = EncoderOptions(preprocess=not args.no_preprocess)
+            report = diff_trees(args.old, args.new, queries,
+                                options=options, workers=args.workers,
+                                cache=cache)
+    except DiffError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    code = report.exit_code
+    if args.json:
+        print(json.dumps(to_json(report, exit_code=code), indent=1))
+    else:
+        print(render_text(report))
+    if args.cache and cache.dirty:
+        cache.save()
+    return code
 
 
 def _cmd_stats(args) -> int:
@@ -443,6 +501,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "analyze": _cmd_analyze,
         "verify": _cmd_verify,
         "verify-batch": _cmd_verify_batch,
+        "diff": _cmd_diff,
         "equivalence": _cmd_equivalence,
         "simulate": _cmd_simulate,
         "stats": _cmd_stats,

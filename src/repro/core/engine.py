@@ -89,13 +89,19 @@ class BatchEngine:
     def __init__(self, network: Network,
                  options: Optional[EncoderOptions] = None,
                  conflict_budget: Optional[int] = None,
-                 workers: int = 1) -> None:
+                 workers: int = 1,
+                 verdict_cache=None) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.network = network
         self.options = options or EncoderOptions()
         self.conflict_budget = conflict_budget
         self.workers = workers
+        # Any mapping-like object with .get(key) / .put(key, record)
+        # (e.g. repro.diff.VerdictCache).  Records replay as results
+        # with ``cached=True``; see repro.analysis.deps for the
+        # soundness argument behind the keys.
+        self.verdict_cache = verdict_cache
 
     # ------------------------------------------------------------------
 
@@ -106,25 +112,40 @@ class BatchEngine:
                          workers=self.workers) as root:
             batch = [q if isinstance(q, BatchQuery) else BatchQuery(prop=q)
                      for q in queries]
+            results: List[Optional[VerificationResult]] = \
+                [None] * len(batch)
             groups: Dict[_GroupKey, List[Tuple[int, BatchQuery]]] = {}
             lazy: List[Tuple[int, BatchQuery]] = []
+            cache_keys: Dict[int, str] = {}
+            metrics = obs.metrics()
             with tracer.span("batch.plan"):
                 for index, query in enumerate(batch):
                     if getattr(query.prop, "lazy", False):
                         lazy.append((index, query))
                         continue
+                    if self.verdict_cache is not None:
+                        ckey = self._cache_key(query)
+                        if ckey is not None:
+                            hit = self.verdict_cache.get(ckey)
+                            if hit is not None:
+                                results[index] = VerificationResult(
+                                    property_name=query.name(),
+                                    holds=hit["holds"],
+                                    message=hit.get("message", ""),
+                                    cached=True)
+                                metrics.counter("diff.cache_hit").inc()
+                                continue
+                            cache_keys[index] = ckey
+                        metrics.counter("diff.reverified").inc()
                     key = (query.prop.dst_prefix(),
                            effective_max_failures(query.prop,
                                                   query.max_failures,
                                                   self.options))
                     groups.setdefault(key, []).append((index, query))
             root.set(groups=len(groups), lazy=len(lazy))
-            metrics = obs.metrics()
             metrics.counter("batch.queries").inc(len(batch))
             metrics.counter("batch.groups").inc(len(groups))
 
-            results: List[Optional[VerificationResult]] = \
-                [None] * len(batch)
             if self.workers > 1 and len(groups) > 1:
                 done = self._run_parallel(groups, results)
             else:
@@ -145,7 +166,36 @@ class BatchEngine:
                     if query.label:
                         result.property_name = query.label
                     results[index] = result
+
+            if self.verdict_cache is not None:
+                for index, ckey in cache_keys.items():
+                    result = results[index]
+                    # UNKNOWN is budget-dependent, never cached.
+                    if result is not None and result.holds is not None:
+                        self.verdict_cache.put(ckey, {
+                            "holds": result.holds,
+                            "message": result.message,
+                        })
         return results  # type: ignore[return-value]
+
+    def _cache_key(self, query: BatchQuery) -> Optional[str]:
+        """The verdict-cache key for one query, or None (not cacheable).
+
+        Key computation is conservative: any analysis failure downgrades
+        to a fresh solve rather than risking a stale verdict.
+        """
+        from repro.analysis.deps import cache_key
+
+        try:
+            return cache_key(self.network, query.prop,
+                             max_failures=query.max_failures,
+                             assumptions=query.assumptions,
+                             options=self.options)
+        except Exception as exc:
+            warnings.warn(f"dependency analysis failed for "
+                          f"{query.name()} ({exc!r}); re-verifying",
+                          RuntimeWarning, stacklevel=2)
+            return None
 
     # ------------------------------------------------------------------
 
@@ -313,8 +363,10 @@ def _solve_group_traced(tracer, network: Network, options: EncoderOptions,
 def verify_batch(network: Network, queries: Sequence,
                  options: Optional[EncoderOptions] = None,
                  conflict_budget: Optional[int] = None,
-                 workers: int = 1) -> List[VerificationResult]:
+                 workers: int = 1,
+                 verdict_cache=None) -> List[VerificationResult]:
     """Functional convenience wrapper over :class:`BatchEngine`."""
     engine = BatchEngine(network, options=options,
-                         conflict_budget=conflict_budget, workers=workers)
+                         conflict_budget=conflict_budget, workers=workers,
+                         verdict_cache=verdict_cache)
     return engine.run(queries)

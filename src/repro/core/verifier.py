@@ -127,6 +127,9 @@ class VerificationResult:
     conflicts: int = 0
     encode_shared_seconds: float = 0.0
     encode_query_seconds: float = 0.0
+    #: True when the verdict was replayed from a verdict cache (the
+    #: query's dependency slice was untouched) instead of solved fresh.
+    cached: bool = False
 
     def __bool__(self) -> bool:
         return bool(self.holds)
@@ -136,6 +139,8 @@ class VerificationResult:
         text = status[self.holds]
         if self.message:
             text += f": {self.message}"
+        if self.cached:
+            text += " [cached]"
         return f"<{self.property_name} {text} ({self.seconds * 1e3:.1f} ms)>"
 
 
@@ -261,7 +266,8 @@ class Verifier:
     # ------------------------------------------------------------------
 
     def verify_batch(self, queries: Sequence,
-                     workers: int = 1) -> List[VerificationResult]:
+                     workers: int = 1,
+                     verdict_cache=None) -> List[VerificationResult]:
         """Verify many queries, exploiting cross-query sharing.
 
         ``queries`` is a sequence of :class:`Property` instances or
@@ -272,12 +278,18 @@ class Verifier:
         it via assumption-based incremental checks.  With ``workers > 1``
         groups run in a process pool; results always come back in query
         order, identical to per-query :meth:`verify` answers.
+
+        ``verdict_cache`` (e.g. :class:`repro.diff.VerdictCache`)
+        enables slice-aware planning: queries whose dependency-slice
+        hash matches a cached entry replay the stored verdict
+        (``result.cached`` is True) instead of being solved.
         """
         from .engine import BatchEngine
 
         engine = BatchEngine(self.network, options=self.options,
                              conflict_budget=self.conflict_budget,
-                             workers=workers)
+                             workers=workers,
+                             verdict_cache=verdict_cache)
         return engine.run(queries)
 
     # ------------------------------------------------------------------

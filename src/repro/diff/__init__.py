@@ -1,0 +1,24 @@
+"""Differential verification: re-verify only what an edit can affect.
+
+``repro diff OLD_DIR NEW_DIR`` parses both config trees, detects the
+changed devices, replays cached verdicts for every query whose
+dependency slice (:mod:`repro.analysis.deps`) is untouched, re-verifies
+the rest through the batch engine, and reports verdict flips with
+CI-friendly exit codes (0 = no new violations, 1 = new violations,
+2 = error).
+"""
+
+from .cache import VerdictCache
+from .differ import DiffError, DiffReport, QueryDiff, diff_networks, diff_trees
+from .report import render_text, to_json
+
+__all__ = [
+    "DiffError",
+    "DiffReport",
+    "QueryDiff",
+    "VerdictCache",
+    "diff_networks",
+    "diff_trees",
+    "render_text",
+    "to_json",
+]

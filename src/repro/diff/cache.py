@@ -1,0 +1,99 @@
+"""Persistent verdict cache keyed by (query, slice-hash, options).
+
+Keys come from :func:`repro.analysis.deps.cache_key`; a key already
+encodes the query identity, the SHA-256 of the query's dependency
+slice, and the semantic encoder-option fingerprint, so a lookup hit
+means the stored verdict is provably identical to a fresh solve.
+UNKNOWN verdicts (conflict-budget exhaustion) are never stored — they
+are budget-dependent, not config-dependent.
+
+The on-disk format is a single JSON object; unknown versions are
+ignored (treated as empty) rather than rejected, so format evolutions
+degrade to a cold cache instead of an error.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Dict, Optional
+
+__all__ = ["VerdictCache"]
+
+_FORMAT_VERSION = 1
+
+
+class VerdictCache:
+    """A mapping of cache keys to verdict records.
+
+    Records are plain dicts with ``holds`` (bool) and ``message``
+    (str).  The cache satisfies the duck-typed interface the batch
+    engine expects: ``get(key)`` and ``put(key, record)``.
+    """
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self.path = path
+        self._data: Dict[str, dict] = {}
+        self.dirty = False
+
+    @classmethod
+    def load(cls, path: str) -> "VerdictCache":
+        """Load a cache file; a missing or unreadable file is an empty
+        cache (cold start), never an error."""
+        cache = cls(path)
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return cache
+        if (
+            isinstance(payload, dict)
+            and payload.get("version") == _FORMAT_VERSION
+            and isinstance(payload.get("verdicts"), dict)
+        ):
+            for key, record in payload["verdicts"].items():
+                if isinstance(record, dict) and isinstance(
+                    record.get("holds"), bool
+                ):
+                    cache._data[key] = record
+        return cache
+
+    def save(self, path: Optional[str] = None) -> None:
+        """Atomically write the cache (write-temp + rename)."""
+        target = path or self.path
+        if target is None:
+            raise ValueError("no cache path to save to")
+        payload = {"version": _FORMAT_VERSION, "verdicts": self._data}
+        directory = os.path.dirname(os.path.abspath(target))
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, indent=1, sort_keys=True)
+            os.replace(tmp, target)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.dirty = False
+
+    def get(self, key: str) -> Optional[dict]:
+        return self._data.get(key)
+
+    def put(self, key: str, record: dict) -> None:
+        if record.get("holds") is None:
+            return
+        self._data[key] = {
+            "holds": bool(record["holds"]),
+            "message": record.get("message", ""),
+        }
+        self.dirty = True
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data

@@ -1,0 +1,111 @@
+"""Render a :class:`~repro.diff.differ.DiffReport` as text or JSON.
+
+The JSON form is the machine-readable CI artifact; ``schema_version``
+guards downstream consumers against silent format drift.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .differ import DiffReport, QueryDiff
+
+__all__ = ["render_text", "to_json"]
+
+_STATUS = {True: "HOLDS", False: "VIOLATED", None: "UNKNOWN"}
+
+
+def _verdict(result) -> str:
+    text = _STATUS[result.holds]
+    if result.cached:
+        text += " (cached)"
+    return text
+
+
+def render_text(report: DiffReport) -> str:
+    lines = [f"diff {report.old_dir} -> {report.new_dir}"]
+    if report.changed_devices:
+        lines.append(
+            f"changed devices ({len(report.changed_devices)}): "
+            + ", ".join(report.changed_devices)
+        )
+    if report.added_devices:
+        lines.append("added devices: " + ", ".join(report.added_devices))
+    if report.removed_devices:
+        lines.append("removed devices: " + ", ".join(report.removed_devices))
+    if not (
+        report.changed_devices
+        or report.added_devices
+        or report.removed_devices
+    ):
+        lines.append("no device-level changes")
+    lines.append("")
+    for query in report.queries:
+        marker = "  "
+        if query.new_violation:
+            marker = "!!"
+        elif query.flipped:
+            marker = "~~"
+        lines.append(
+            f"{marker} {query.name}: {_verdict(query.old)} -> "
+            f"{_verdict(query.new)}"
+        )
+        if query.new_violation:
+            if query.new.message:
+                lines.append(f"     {query.new.message}")
+            if query.new.counterexample is not None:
+                summary = query.new.counterexample.summary()
+                lines.append("     " + summary.replace("\n", "\n     "))
+    lines.append("")
+    replayed = len(report.replayed())
+    lines.append(
+        f"{len(report.queries)} queries: {replayed} replayed "
+        f"from cache, {len(report.queries) - replayed} re-verified"
+    )
+    lines.append(
+        f"{len(report.flips)} verdict flip(s), "
+        f"{len(report.new_violations)} new violation(s), "
+        f"{len(report.resolved)} resolved ({report.seconds:.2f}s)"
+    )
+    return "\n".join(lines)
+
+
+def _query_json(query: QueryDiff) -> dict:
+    entry = {
+        "name": query.name,
+        "old": {
+            "holds": query.old.holds,
+            "cached": query.old.cached,
+            "message": query.old.message,
+        },
+        "new": {
+            "holds": query.new.holds,
+            "cached": query.new.cached,
+            "message": query.new.message,
+        },
+        "flipped": query.flipped,
+        "new_violation": query.new_violation,
+        "resolved": query.resolved,
+    }
+    if query.new.counterexample is not None:
+        entry["counterexample"] = query.new.counterexample.summary()
+    return entry
+
+
+def to_json(report: DiffReport, exit_code: Optional[int] = None) -> dict:
+    return {
+        "schema_version": 1,
+        "old_dir": report.old_dir,
+        "new_dir": report.new_dir,
+        "changed_devices": report.changed_devices,
+        "added_devices": report.added_devices,
+        "removed_devices": report.removed_devices,
+        "queries": [_query_json(q) for q in report.queries],
+        "replayed": report.replayed(),
+        "reverified": report.reverified(),
+        "flips": [q.name for q in report.flips],
+        "new_violations": [q.name for q in report.new_violations],
+        "resolved": [q.name for q in report.resolved],
+        "seconds": report.seconds,
+        "exit_code": report.exit_code if exit_code is None else exit_code,
+    }

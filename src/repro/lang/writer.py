@@ -8,13 +8,13 @@ which also provides the lines-of-configuration metric used by Figure 7.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Tuple
 
 from repro.net import ip as iplib
 from repro.net.device import DeviceConfig, Interface
 from repro.net.policy import Acl, AclRule, PrefixList, RouteMap
 
-__all__ = ["write_config"]
+__all__ = ["write_config", "write_fragments"]
 
 _PROTO_NAMES = {None: "ip", 6: "tcp", 17: "udp", 1: "icmp"}
 
@@ -35,10 +35,7 @@ def write_config(config: DeviceConfig) -> str:
     for name in sorted(config.prefix_lists):
         _write_prefix_list(out, config.prefix_lists[name])
     for name in sorted(config.community_lists):
-        clist = config.community_lists[name]
-        comms = " ".join(clist.communities)
-        out.append(f"ip community-list standard {clist.name} "
-                   f"{clist.action} {comms}")
+        out.extend(_community_list_lines(config.community_lists[name]))
         out.append("!")
     for name in sorted(config.acls):
         _write_acl(out, config.acls[name])
@@ -82,37 +79,68 @@ def _write_ospf(out: List[str], config: DeviceConfig) -> None:
     out.append("!")
 
 
+def _bgp_base_lines(config: DeviceConfig) -> List[str]:
+    bgp = config.bgp
+    lines = [f"router bgp {bgp.asn}"]
+    if bgp.router_id:
+        lines.append(f" bgp router-id {iplib.format_ip(bgp.router_id)}")
+    if bgp.med_mode != "always":
+        lines.append(f" bgp bestpath med {bgp.med_mode}")
+    if bgp.multipath:
+        lines.append(" maximum-paths 16")
+    return lines
+
+
+def _bgp_network_line(net: int, length: int) -> str:
+    mask = iplib.format_ip(iplib.length_to_mask(length))
+    return f" network {iplib.format_ip(net)} mask {mask}"
+
+
+def _bgp_aggregate_line(net: int, length: int) -> str:
+    mask = iplib.format_ip(iplib.length_to_mask(length))
+    return (f" aggregate-address {iplib.format_ip(net)} "
+            f"{mask} summary-only")
+
+
+def _bgp_redistribute_lines(config: DeviceConfig) -> List[str]:
+    lines: List[str] = []
+    for proto, metric in sorted(config.bgp.redistribute.items()):
+        suffix = f" metric {metric}" if metric else ""
+        lines.append(f" redistribute {proto}{suffix}")
+    return lines
+
+
+def _bgp_neighbor_lines(nbr) -> List[str]:
+    peer = iplib.format_ip(nbr.peer_ip)
+    lines = [f" neighbor {peer} remote-as {nbr.remote_as}"]
+    if nbr.description:
+        lines.append(f" neighbor {peer} description {nbr.description}")
+    if nbr.route_map_in:
+        lines.append(f" neighbor {peer} route-map {nbr.route_map_in} in")
+    if nbr.route_map_out:
+        lines.append(f" neighbor {peer} route-map {nbr.route_map_out} out")
+    if nbr.route_reflector_client:
+        lines.append(f" neighbor {peer} route-reflector-client")
+    return lines
+
+
 def _write_bgp(out: List[str], config: DeviceConfig) -> None:
     bgp = config.bgp
-    out.append(f"router bgp {bgp.asn}")
-    if bgp.router_id:
-        out.append(f" bgp router-id {iplib.format_ip(bgp.router_id)}")
-    if bgp.med_mode != "always":
-        out.append(f" bgp bestpath med {bgp.med_mode}")
-    if bgp.multipath:
-        out.append(" maximum-paths 16")
+    out.extend(_bgp_base_lines(config))
     for net, length in bgp.networks:
-        mask = iplib.format_ip(iplib.length_to_mask(length))
-        out.append(f" network {iplib.format_ip(net)} mask {mask}")
+        out.append(_bgp_network_line(net, length))
     for net, length in bgp.aggregates:
-        mask = iplib.format_ip(iplib.length_to_mask(length))
-        out.append(f" aggregate-address {iplib.format_ip(net)} "
-                   f"{mask} summary-only")
-    for proto, metric in sorted(bgp.redistribute.items()):
-        suffix = f" metric {metric}" if metric else ""
-        out.append(f" redistribute {proto}{suffix}")
+        out.append(_bgp_aggregate_line(net, length))
+    out.extend(_bgp_redistribute_lines(config))
     for nbr in bgp.neighbors:
-        peer = iplib.format_ip(nbr.peer_ip)
-        out.append(f" neighbor {peer} remote-as {nbr.remote_as}")
-        if nbr.description:
-            out.append(f" neighbor {peer} description {nbr.description}")
-        if nbr.route_map_in:
-            out.append(f" neighbor {peer} route-map {nbr.route_map_in} in")
-        if nbr.route_map_out:
-            out.append(f" neighbor {peer} route-map {nbr.route_map_out} out")
-        if nbr.route_reflector_client:
-            out.append(f" neighbor {peer} route-reflector-client")
+        out.extend(_bgp_neighbor_lines(nbr))
     out.append("!")
+
+
+def _community_list_lines(clist) -> List[str]:
+    comms = " ".join(clist.communities)
+    return [f"ip community-list standard {clist.name} "
+            f"{clist.action} {comms}"]
 
 
 def _write_static(out: List[str], route) -> None:
@@ -192,3 +220,83 @@ def _write_route_map(out: List[str], rmap: RouteMap) -> None:
             comms = " ".join(clause.delete_communities)
             out.append(f" set comm-list-delete {comms}")
     out.append("!")
+
+
+def write_fragments(config: DeviceConfig) -> List[Tuple[str, str]]:
+    """Split the device into addressable canonical config fragments.
+
+    Returns an ordered list of ``(fragment_id, canonical_text)`` pairs
+    whose texts are rendered with exactly the same helpers as
+    :func:`write_config`, so a fragment's text is invariant under
+    comment/whitespace edits of the source file (the parser discards
+    them) and changes iff the fragment's semantics-bearing lines change.
+
+    Fragment ids are stable across renders of the same config:
+
+    - ``meta`` — hostname
+    - ``interface:<name>`` — one per interface (address, ACL bindings,
+      cost, shutdown)
+    - ``ospf`` — the whole OSPF stanza
+    - ``bgp`` — BGP base config (ASN, router-id, MED mode, multipath)
+      plus redistribution
+    - ``bgp.network:<net/len>`` / ``bgp.aggregate:<net/len>`` — one per
+      originated / aggregated prefix
+    - ``bgp.neighbor:<ip>`` — one per BGP session (remote-as and
+      route-map bindings)
+    - ``static:<idx>`` — one per static route, position-stable
+    - ``prefix-list:<name>`` / ``community-list:<name>`` /
+      ``route-map:<name>`` — one per policy object
+    - ``acl:<name>`` — ACL header; ``acl:<name>:<idx>`` — one per rule
+      (so slices can include exactly the rules that can match a packet
+      while keeping rule order visible through the index)
+
+    The dependency analysis (``repro.analysis.deps``) selects a subset
+    of these ids per query; hashing their texts yields the slice hash
+    that keys the verdict cache.
+    """
+    frags: List[Tuple[str, str]] = [("meta", f"hostname {config.hostname}")]
+
+    def emit(frag_id: str, lines: List[str]) -> None:
+        frags.append((frag_id, "\n".join(lines)))
+
+    for name in sorted(config.interfaces):
+        lines: List[str] = []
+        _write_interface(lines, config.interfaces[name])
+        emit(f"interface:{name}", lines[:-1])  # drop the trailing "!"
+    if config.ospf:
+        lines = []
+        _write_ospf(lines, config)
+        emit("ospf", lines[:-1])
+    if config.bgp:
+        bgp = config.bgp
+        emit("bgp", _bgp_base_lines(config) + _bgp_redistribute_lines(config))
+        for net, length in bgp.networks:
+            emit(f"bgp.network:{iplib.format_prefix(net, length)}",
+                 [_bgp_network_line(net, length)])
+        for net, length in bgp.aggregates:
+            emit(f"bgp.aggregate:{iplib.format_prefix(net, length)}",
+                 [_bgp_aggregate_line(net, length)])
+        for nbr in bgp.neighbors:
+            emit(f"bgp.neighbor:{iplib.format_ip(nbr.peer_ip)}",
+                 _bgp_neighbor_lines(nbr))
+    for idx, route in enumerate(config.static_routes):
+        lines = []
+        _write_static(lines, route)
+        emit(f"static:{idx}", lines)
+    for name in sorted(config.prefix_lists):
+        lines = []
+        _write_prefix_list(lines, config.prefix_lists[name])
+        emit(f"prefix-list:{name}", lines[:-1])
+    for name in sorted(config.community_lists):
+        emit(f"community-list:{name}",
+             _community_list_lines(config.community_lists[name]))
+    for name in sorted(config.acls):
+        acl = config.acls[name]
+        emit(f"acl:{name}", [f"ip access-list extended {acl.name}"])
+        for idx, rule in enumerate(acl.rules):
+            emit(f"acl:{name}:{idx}", [" " + _format_acl_rule(rule)])
+    for name in sorted(config.route_maps):
+        lines = []
+        _write_route_map(lines, config.route_maps[name])
+        emit(f"route-map:{name}", lines[:-1])
+    return frags

@@ -540,17 +540,19 @@ def test_syn001_near_miss():
 
 def test_every_rule_has_a_test_in_this_suite():
     """The corpus covers the whole catalog: each syntactic rule id has a
-    firing test above; SMT rules are covered in test_smt_rules.py."""
+    firing test above; SMT rules are covered in test_smt_rules.py and
+    DEP001 in test_deps.py."""
     syntactic = {r.id for r in all_rules() if r.scope != "smt"}
     covered = {"REF001", "REF002", "REF003", "REF004", "POL001",
                "POL002", "STA001", "CFG001", "TOP001", "TOP002",
-               "TOP003", "TOP004", "TOP005", "TOP006", "SYN001"}
+               "TOP003", "TOP004", "TOP005", "TOP006", "SYN001",
+               "DEP001"}
     assert syntactic == covered
 
 
 def test_rule_ids_are_stable_api():
     ids = sorted(r.id for r in all_rules())
-    assert ids == ["CFG001", "POL001", "POL002",
+    assert ids == ["CFG001", "DEP001", "POL001", "POL002",
                    "REF001", "REF002", "REF003", "REF004",
                    "SMT001", "SMT002", "SMT003", "SMT004",
                    "STA001", "SYN001",

@@ -33,7 +33,7 @@ from typing import Optional
 ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 BASELINE_DIR = os.path.join(ROOT, "benchmarks", "baselines")
 OUT_DIR = os.path.join(ROOT, "benchmarks", "out")
-BENCHES = ("batch", "obs", "preprocess", "satcore", "diff")
+BENCHES = ("batch", "obs", "preprocess", "satcore", "diff", "analysis")
 
 
 @dataclass
@@ -100,8 +100,24 @@ GATES = [
     Gate("diff", "verdict_match", True, floor=1.0),
     Gate("diff", "reverify_exact", True, floor=1.0),
     Gate("diff", "flip_match", True, floor=1.0),
+    Gate("diff", "policy_verdict_match", True, floor=1.0),
+    Gate("diff", "policy_reverify_exact", True, floor=1.0),
     Gate("diff", "cloud_verdict_match", True, floor=1.0),
     Gate("diff", "speedup", True, rel_tol=0.65, floor=3.0, hard=False),
+    # Static-analysis dataflow: every gated count is deterministic for
+    # the fixed seeded fat-tree, so the bands are zero.  Cold-clause
+    # pruning must stay verdict-identical, the fixpoint must converge
+    # without widening, the dataflow-tightened cones must not grow
+    # back toward the structural widening, and pruning/rule power must
+    # not silently regress.  Wall-clock is warn-only as usual.
+    Gate("analysis", "cold_verdict_match", True, floor=1.0),
+    Gate("analysis", "fixpoint_widened", False, ceiling=0.0),
+    Gate("analysis", "cone_reach_fragments", False),
+    Gate("analysis", "cone_reach_devices", False),
+    Gate("analysis", "cone_loops_fragments", False),
+    Gate("analysis", "cold_clauses_pruned", True),
+    Gate("analysis", "xdf_findings", True, floor=1.0),
+    Gate("analysis", "seconds", False, rel_tol=1.0, hard=False),
 ]
 
 # Exact command to regenerate a bench at the baseline configuration —
@@ -121,6 +137,7 @@ RERUN = {
     "diff": (
         "PYTHONPATH=src:. python benchmarks/run_diff_smoke.py --pods {pods}"
     ),
+    "analysis": "PYTHONPATH=src:. python benchmarks/run_analysis_smoke.py",
 }
 
 

@@ -1,6 +1,6 @@
 """Differential-verification smoke check for `make check` / CI.
 
-Exercises the soundness contract of ``repro diff`` on two workloads:
+Exercises the soundness contract of ``repro diff`` on three workloads:
 
 * **Fat-tree single edit** — renumber one ToR's rack (interface address
   and BGP announcement) and diff the trees over per-rack reachability
@@ -10,6 +10,15 @@ Exercises the soundness contract of ``repro diff`` on two workloads:
   (``verdict_match``), only the edited rack's queries may be re-solved
   (``reverify_exact``), and the single expected reachability flip must
   surface as a new violation with a counterexample (``flip_match``).
+* **Fat-tree policy edit** — one ToR carries an import policy whose
+  deny clause matches only its own rack; the edit narrows that
+  clause's prefix-list.  The clause is *hot* only for the edited
+  rack's destination, so the dataflow-tightened cones must re-solve
+  exactly that rack's two queries (``policy_reverify_exact``) — under
+  the pre-dataflow all-route-maps widening this edit re-solved every
+  query, loop queries included.  Verdict identity is hard-gated
+  (``policy_verdict_match``) and the edit must flip nothing (the rack
+  is connected on the ToR itself; AD beats BGP).
 * **Cloud corpus** — the same edit/diff/replay cycle on a generated
   cloud network (clean class, index 120): verdict identity is hard-gated
   (``cloud_verdict_match``) and at least one verdict must replay.
@@ -38,6 +47,14 @@ from repro.diff import VerdictCache, diff_trees
 from repro.gen import build_cloud_network, build_fattree
 from repro.lang.writer import write_config
 from repro.net import ip as iplib, load_network
+from repro.net.policy import (
+    DENY,
+    PERMIT,
+    PrefixList,
+    PrefixListEntry,
+    RouteMap,
+    RouteMapClause,
+)
 
 from benchmarks.harness import emit_metrics, print_table
 
@@ -78,7 +95,8 @@ def rack_queries(subnets, skip_loops=()):
     return queries
 
 
-def run_scenario(network, edited_device, old_text, new_text, subnets, workers):
+def run_scenario(network, edited_device, old_text, new_text, subnets,
+                 workers, skip_loops=None):
     """Write trees, run cold + warm diffs, time a fresh NEW verify.
 
     Returns (cold_report, warm_report, warm_seconds, fresh_new_seconds,
@@ -88,8 +106,14 @@ def run_scenario(network, edited_device, old_text, new_text, subnets, workers):
     and re-solved verdicts); the OLD column of a cold diff is itself a
     full verification against an empty cache, so re-solving it again
     would compare a fresh solve with a fresh solve.
+
+    ``skip_loops`` defaults to the edited device (the renumber
+    scenarios de-originate its /24 — see the module docstring); pass
+    an empty set when the edit keeps every prefix originated.
     """
-    queries = rack_queries(subnets, skip_loops={edited_device})
+    if skip_loops is None:
+        skip_loops = {edited_device}
+    queries = rack_queries(subnets, skip_loops=skip_loops)
     with tempfile.TemporaryDirectory() as tmp:
         old_dir = os.path.join(tmp, "old")
         new_dir = os.path.join(tmp, "new")
@@ -180,6 +204,52 @@ def main(argv=None) -> int:
     )
     speedup = fresh_new_s / warm_s if warm_s else float("inf")
 
+    # --- fat-tree policy-edit scenario -------------------------------
+    ptree = build_fattree(args.pods)
+    ptor = ptree.tors[0]
+    rack = ptree.tor_subnet(ptor)
+    rack_net, rack_len = iplib.parse_prefix(rack)
+    dev = ptree.network.devices[ptor]
+    dev.prefix_lists["OWN_RACK"] = PrefixList(
+        "OWN_RACK", (PrefixListEntry(PERMIT, rack_net, rack_len),)
+    )
+    dev.route_maps["RACK_POLICY"] = RouteMap(
+        "RACK_POLICY",
+        (
+            RouteMapClause(10, DENY, match_prefix_list="OWN_RACK"),
+            RouteMapClause(20, PERMIT),
+        ),
+    )
+    dev.bgp.neighbors[0].route_map_in = "RACK_POLICY"
+    pcold, pwarm, _, _, policy_match = run_scenario(
+        ptree.network,
+        ptor,
+        f"permit {rack}",
+        f"permit {iplib.format_prefix(rack_net, rack_len + 1)}",
+        [(t, ptree.tor_subnet(t)) for t in ptree.tors],
+        args.workers,
+        skip_loops=frozenset(),
+    )
+    policy_expected = {f"reach-{ptor}", f"loops-{ptor}"}
+    policy_reverify_exact = (
+        set(pcold.reverified()) == policy_expected
+        and not pwarm.reverified()
+    )
+    check(
+        policy_match,
+        "fat-tree policy: diff verdicts identical to full verification",
+    )
+    check(
+        policy_reverify_exact,
+        f"fat-tree policy: re-solved exactly {sorted(policy_expected)} "
+        f"(cold got {sorted(pcold.reverified())}, warm "
+        f"{len(pwarm.reverified())})",
+    )
+    check(
+        not pcold.new_violations and pcold.exit_code == 0,
+        "fat-tree policy: narrowing the own-rack deny flips nothing",
+    )
+
     # --- cloud-corpus scenario ---------------------------------------
     cloud = build_cloud_network(args.cloud_index)
     cloud_subnets = []
@@ -235,6 +305,10 @@ def main(argv=None) -> int:
             "verdict_match": 1.0 if ft_match else 0.0,
             "reverify_exact": 1.0 if reverify_exact else 0.0,
             "flip_match": 1.0 if flip_match else 0.0,
+            "policy_verdict_match": 1.0 if policy_match else 0.0,
+            "policy_reverify_exact": 1.0 if policy_reverify_exact else 0.0,
+            "policy_queries": len(pcold.queries),
+            "policy_reverified": len(pcold.reverified()),
             "cloud_verdict_match": 1.0 if cloud_match else 0.0,
             "cloud_replayed": cloud_replayed,
             "reverified": len(cold.reverified()),

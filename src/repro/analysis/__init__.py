@@ -49,6 +49,7 @@ __all__ = [
     "all_rules",
     "format_text",
     "to_json",
+    "to_sarif",
     "prune_network",
     "PruneReport",
 ]
@@ -60,6 +61,7 @@ _LAZY = {
     "all_rules": "registry",
     "format_text": "reporters",
     "to_json": "reporters",
+    "to_sarif": "reporters",
     "prune_network": "pruning",
     "PruneReport": "pruning",
 }

@@ -54,9 +54,22 @@ fragment                    in the slice when
                             modeled anywhere (the §4 IGP copies pin the
                             destination to arbitrary peer addresses and
                             keep static routes)
-``route-map:<n>`` etc.      referenced (transitively, via neighbor
-                            bindings and clause matches); unreferenced
-                            policy cannot reach the encoding
+``route-map:<n>``           bound to a BGP session (via neighbor
+                            bindings) and every clause *hot* for ``p``
+                            under the route-propagation dataflow
+                            summaries (:mod:`repro.analysis.dataflow`)
+``route-map:<n>:<seq>``     the map is bound and only *some* clauses
+                            are hot: exactly the hot clauses join the
+                            slice (a clause is hot when a route that
+                            can actually enter the map both matches it
+                            and overlaps ``p``; cold clauses cannot
+                            process a verdict-relevant route, and any
+                            edit that could re-heat one changes either
+                            an included fragment or the inclusion set
+                            itself — see the module docstring of
+                            ``dataflow``)
+``prefix-list:<n>`` etc.    matched (or comm-list-deleted) by an
+                            *included* route-map clause
 ``acl:<n>:<i>``             the ACL is bound to an included interface
                             and the rule's destination range overlaps
                             ``p``
@@ -66,8 +79,17 @@ Properties that quantify over *network structure* rather than routes
 need extra care: :class:`~repro.core.properties.NoForwardingLoops`
 derives its default pivot candidates from the presence of static
 routes, redistribution, and local-preference-setting route maps on any
-device, so with default candidates the slice widens to all static
-routes and all route maps network-wide.
+device.  With default candidates the slice keeps all static routes and
+adds a ``dataflow:loop-candidates`` pseudo-fragment (the derived
+candidate tuple, mirrored by
+:func:`repro.analysis.dataflow.loop_candidates`) to the hash — any
+edit that flips a device in or out of the pivot set changes the key
+even when the edited fragment itself is outside the cone.  Route maps
+no longer widen to the whole network: the dataflow hotness projection
+above applies to structural queries too.  When the dataflow fixpoint
+had to widen (``Dataflow.widened``), the analysis falls back to the
+pre-projection behavior: every bound map — and for structural queries
+every map on every device — joins the slice whole.
 """
 
 from __future__ import annotations
@@ -77,10 +99,12 @@ import json
 from dataclasses import dataclass, fields as dc_fields, is_dataclass
 from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
+from repro import obs
 from repro.net import ip as iplib
 from repro.net.device import DeviceConfig
 from repro.net.topology import Network
 from repro.lang.writer import write_config, write_fragments
+from .dataflow import Dataflow, analyze_dataflow, loop_candidates
 from .diagnostics import Severity
 from .registry import Finding, rule
 
@@ -163,6 +187,11 @@ class Cone:
     fragments: Dict[str, FrozenSet[str]]
     bounded: bool = True
     reason: str = ""
+    #: (key, value) pseudo-fragments hashed alongside the config
+    #: fragments: derived network-wide facts a verdict depends on that
+    #: no single device fragment captures (e.g. the NoForwardingLoops
+    #: default candidate set).
+    extras: Tuple[Tuple[str, str], ...] = ()
 
     def devices(self) -> List[str]:
         return sorted(self.fragments)
@@ -287,6 +316,17 @@ def query_cone(
         type(prop).__name__ == "NoForwardingLoops"
         and getattr(prop, "candidates", None) is None
     )
+    dataflow: Optional[Dataflow] = analyze_dataflow(network)
+    if dataflow.widened:
+        # The fixpoint could not bound the summaries; fall back to the
+        # pre-projection widening (every bound map, structural queries
+        # take every map).
+        dataflow = None
+    extras: Tuple[Tuple[str, str], ...] = ()
+    if structural:
+        extras = (
+            ("dataflow:loop-candidates", ",".join(loop_candidates(network))),
+        )
     fragments = {}
     for name, dev in network.devices.items():
         frags = _device_fragments(
@@ -294,10 +334,15 @@ def query_cone(
             dst,
             facts,
             include_all_statics=model_ibgp or structural,
-            include_all_maps=structural,
+            include_all_maps=structural and dataflow is None,
+            dataflow=dataflow,
         )
         fragments[name] = frozenset(frags)
-    return Cone(fragments=fragments, bounded=True)
+    cone = Cone(fragments=fragments, bounded=True, extras=extras)
+    obs.metrics().histogram("deps.cone_fragments").observe(
+        cone.total_fragments()
+    )
+    return cone
 
 
 def _device_fragments(
@@ -306,6 +351,7 @@ def _device_fragments(
     facts: NetworkFacts,
     include_all_statics: bool,
     include_all_maps: bool,
+    dataflow: Optional[Dataflow] = None,
 ) -> Iterator[str]:
     dst_net, dst_len = dst
     yield "meta"
@@ -344,17 +390,38 @@ def _device_fragments(
         used_maps.update(dev.route_maps)
     used_plists: Set[str] = set()
     used_clists: Set[str] = set()
-    for map_name in used_maps:
+
+    def reference(clause) -> None:
+        if clause.match_prefix_list:
+            used_plists.add(clause.match_prefix_list)
+        if clause.match_community_list:
+            used_clists.add(clause.match_community_list)
+        used_clists.update(clause.delete_communities)
+
+    for map_name in sorted(used_maps):
         rmap = dev.route_maps.get(map_name)
         if rmap is None:
             continue  # dangling: nothing to hash; definition would add it
-        yield f"route-map:{map_name}"
-        for clause in rmap.clauses:
-            if clause.match_prefix_list:
-                used_plists.add(clause.match_prefix_list)
-            if clause.match_community_list:
-                used_clists.add(clause.match_community_list)
-            used_clists.update(clause.delete_communities)
+        if dataflow is None:
+            yield f"route-map:{map_name}"
+            for clause in rmap.clauses:
+                reference(clause)
+            continue
+        # Project the map onto its clauses hot for ``dst``: a cold
+        # clause can never process a verdict-relevant route, and lists
+        # matched only by cold clauses go with it.
+        hot = dataflow.hot_clause_seqs(dev.hostname, map_name, dst)
+        if not hot:
+            continue
+        if len(hot) == len(rmap.clauses):
+            yield f"route-map:{map_name}"
+            for clause in rmap.clauses:
+                reference(clause)
+        else:
+            for clause in rmap.clauses:
+                if clause.seq in hot:
+                    yield f"route-map:{map_name}:{clause.seq}"
+                    reference(clause)
     for name in used_plists:
         if name in dev.prefix_lists:
             yield f"prefix-list:{name}"
@@ -416,8 +483,15 @@ def _excludable_stub(
 
 
 def slice_hash(network: Network, cone: Cone) -> str:
-    """SHA-256 over the canonical texts of the cone's fragments."""
+    """SHA-256 over the canonical texts of the cone's fragments (plus
+    any derived pseudo-fragments in ``cone.extras``)."""
     digest = hashlib.sha256()
+    for key, value in sorted(cone.extras):
+        digest.update(b"\x02")
+        digest.update(key.encode())
+        digest.update(b"\x00")
+        digest.update(value.encode())
+        digest.update(b"\x01")
     for name in sorted(cone.fragments):
         dev = network.devices.get(name)
         if dev is None:
@@ -484,6 +558,7 @@ _SEMANTIC_OPTION_FIELDS = (
     "exact_failures",
     "fail_external",
     "prune_dead_clauses",
+    "prune_cold_clauses",
 )
 
 

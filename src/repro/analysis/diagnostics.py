@@ -89,10 +89,17 @@ class Diagnostic:
 
 @dataclass
 class Report:
-    """All findings from one analysis run."""
+    """All findings from one analysis run.
+
+    ``diagnostics`` holds the active findings; ``suppressed`` holds
+    findings silenced by an inline ``! repro: noqa`` directive.  Only
+    active findings count toward :attr:`max_severity` and
+    :attr:`exit_code`.
+    """
 
     diagnostics: List[Diagnostic] = field(default_factory=list)
     rules_run: List[str] = field(default_factory=list)
+    suppressed: List[Diagnostic] = field(default_factory=list)
 
     def extend(self, found: Iterable[Diagnostic]) -> None:
         self.diagnostics.extend(found)

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Dict, List
+import re
+from typing import Dict, FrozenSet, List
 
 from repro import obs
 from repro.lang.parser import ConfigSyntaxError, parse_config
@@ -13,6 +14,61 @@ from .diagnostics import Diagnostic, Report
 from .registry import Finding, ParsedConfig, Rule, rules_for_scope
 
 __all__ = ["analyze_network", "analyze_configs", "analyze_device"]
+
+
+# ``! repro: noqa`` or ``! repro: noqa RULE-ID [RULE-ID ...]`` on a
+# comment line suppresses matching diagnostics on the next meaningful
+# (non-blank, non-directive) line of the same file.
+_NOQA_RE = re.compile(r"^\s*!+\s*repro:\s*noqa\b(?P<rules>.*)$", re.IGNORECASE)
+
+
+def _noqa_directives(text: str) -> Dict[int, FrozenSet[str]]:
+    """Map suppressed line numbers to rule-id sets (empty set = all rules).
+
+    A directive applies to the next non-blank, non-directive line;
+    consecutive directives stack onto the same target line.  Directives
+    with nothing after them are ignored.
+    """
+    targets: Dict[int, FrozenSet[str]] = {}
+    pending: List[FrozenSet[str]] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        match = _NOQA_RE.match(line)
+        if match:
+            ids = frozenset(
+                token.upper()
+                for token in re.split(r"[,\s]+", match.group("rules").strip())
+                if token
+            )
+            pending.append(ids)
+            continue
+        if pending and line.strip():
+            if any(not ids for ids in pending):
+                targets[lineno] = frozenset()  # bare noqa: all rules
+            else:
+                targets[lineno] = frozenset().union(*pending)
+            pending = []
+    return targets
+
+
+def _apply_suppressions(report: Report, texts: Dict[str, str]) -> None:
+    """Move noqa-matched diagnostics from active to ``report.suppressed``."""
+    directives = {
+        filename: scanned
+        for filename, text in texts.items()
+        if (scanned := _noqa_directives(text))
+    }
+    if not directives:
+        return
+    active: List[Diagnostic] = []
+    for diag in report.diagnostics:
+        rules = None
+        if diag.file and diag.line is not None:
+            rules = directives.get(diag.file, {}).get(diag.line)
+        if rules is not None and (not rules or diag.rule_id in rules):
+            report.suppressed.append(diag)
+        else:
+            active.append(diag)
+    report.diagnostics[:] = active
 
 
 def _to_diagnostic(
@@ -117,4 +173,5 @@ def analyze_configs(texts: Dict[str, str], smt: bool = True) -> Report:
         sub = analyze_network(network, smt=smt)
         report.diagnostics.extend(sub.diagnostics)
         report.rules_run.extend(sub.rules_run)
+    _apply_suppressions(report, texts)
     return report

@@ -107,4 +107,4 @@ def rules_for_scope(scope: str) -> List[Rule]:
 
 def _load() -> None:
     """Import the rule modules (registration happens at import time)."""
-    from . import deps, rules, smt_rules  # noqa: F401
+    from . import dataflow, deps, rules, smt_rules  # noqa: F401

@@ -1,13 +1,13 @@
-"""Render analysis reports as text or JSON."""
+"""Render analysis reports as text, JSON, or SARIF 2.1.0."""
 
 from __future__ import annotations
 
 import json
-from typing import Dict
+from typing import Dict, List
 
-from .diagnostics import Report, Severity
+from .diagnostics import Diagnostic, Report, Severity
 
-__all__ = ["format_text", "to_json"]
+__all__ = ["format_text", "to_json", "to_sarif"]
 
 
 def format_text(report: Report) -> str:
@@ -25,6 +25,8 @@ def format_text(report: Report) -> str:
         ]
         plural = "s" if total != 1 else ""
         summary = f"{total} finding{plural}: " + ", ".join(parts)
+    if report.suppressed:
+        summary += f" ({len(report.suppressed)} suppressed)"
     return "\n".join(lines + [summary])
 
 
@@ -34,6 +36,83 @@ def to_json(report: Report) -> str:
         "rules_run": sorted(set(report.rules_run)),
         "diagnostics": [d.to_dict() for d in report.sorted()],
         "counts": {str(sev): report.count(sev) for sev in Severity},
+        "suppressed": [d.to_dict() for d in report.suppressed],
+        "suppressed_count": len(report.suppressed),
         "exit_code": report.exit_code,
     }
     return json.dumps(payload, indent=2, sort_keys=False)
+
+
+_SARIF_LEVEL = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def _sarif_result(diag: Diagnostic, suppressed: bool) -> Dict[str, object]:
+    result: Dict[str, object] = {
+        "ruleId": diag.rule_id,
+        "level": _SARIF_LEVEL[diag.severity],
+        "message": {"text": diag.message},
+    }
+    if diag.file:
+        physical: Dict[str, object] = {
+            "artifactLocation": {"uri": diag.file}
+        }
+        if diag.line is not None:
+            physical["region"] = {"startLine": diag.line}
+        result["locations"] = [{"physicalLocation": physical}]
+    if diag.device:
+        result["properties"] = {"device": diag.device}
+    if suppressed:
+        result["suppressions"] = [{"kind": "inSource"}]
+    return result
+
+
+def to_sarif(report: Report) -> str:
+    """SARIF 2.1.0 log for CI code-scanning upload.
+
+    Active findings become plain results; ``! repro: noqa``-silenced
+    findings are carried with an in-source suppression object so
+    dashboards can show (but not count) them.
+    """
+    from .registry import all_rules
+
+    ran = set(report.rules_run)
+    rules = [
+        {
+            "id": r.id,
+            "name": r.title,
+            "shortDescription": {"text": r.title},
+            "fullDescription": {"text": r.description or r.title},
+            "defaultConfiguration": {"level": _SARIF_LEVEL[r.severity]},
+        }
+        for r in all_rules()
+        if r.id in ran
+    ]
+    results: List[Dict[str, object]] = [
+        _sarif_result(d, suppressed=False) for d in report.sorted()
+    ]
+    results.extend(
+        _sarif_result(d, suppressed=True) for d in report.suppressed
+    )
+    log = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-analyze",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=False)

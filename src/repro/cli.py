@@ -55,6 +55,9 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("configs", help="directory of config files")
     analyze.add_argument("--json", action="store_true",
                          help="machine-readable report on stdout")
+    analyze.add_argument("--sarif", action="store_true",
+                         help="SARIF 2.1.0 report on stdout (for CI "
+                              "code-scanning upload)")
     analyze.add_argument("--no-smt", action="store_true",
                          help="skip the solver-backed shadow checks")
     analyze.add_argument("--rules", nargs="*", default=None,
@@ -115,6 +118,9 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="machine-readable report on stdout")
     diff.add_argument("--no-preprocess", action="store_true",
                       help="disable SAT-level CNF preprocessing")
+    diff.add_argument("--cone-stats", action="store_true",
+                      help="report each query's dependency-slice size "
+                           "(devices / fragments) on the NEW tree")
     _add_observability_flags(diff)
 
     equiv = sub.add_parser("equivalence",
@@ -279,9 +285,11 @@ def _cmd_show(args) -> int:
 def _cmd_analyze(args) -> int:
     from pathlib import Path
 
-    from repro.analysis import format_text, to_json
+    from repro.analysis import format_text, to_json, to_sarif
     from repro.analysis.engine import analyze_configs
 
+    if args.json and args.sarif:
+        raise SystemExit("--json and --sarif are mutually exclusive")
     directory = Path(args.configs)
     if not directory.is_dir():
         raise SystemExit(f"not a directory: {directory}")
@@ -296,7 +304,12 @@ def _cmd_analyze(args) -> int:
         wanted = set(args.rules)
         report.diagnostics = [d for d in report.diagnostics
                               if d.rule_id in wanted]
-    print(to_json(report) if args.json else format_text(report))
+        report.suppressed = [d for d in report.suppressed
+                             if d.rule_id in wanted]
+    if args.sarif:
+        print(to_sarif(report))
+    else:
+        print(to_json(report) if args.json else format_text(report))
     return report.exit_code
 
 
@@ -429,7 +442,7 @@ def _cmd_diff(args) -> int:
             options = EncoderOptions(preprocess=not args.no_preprocess)
             report = diff_trees(args.old, args.new, queries,
                                 options=options, workers=args.workers,
-                                cache=cache)
+                                cache=cache, cone_stats=args.cone_stats)
     except DiffError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

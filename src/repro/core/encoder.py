@@ -90,6 +90,7 @@ class EncoderOptions:
     exact_failures: bool = False     # require exactly k instead of <= k
     fail_external: bool = True       # external peering links can also fail
     prune_dead_clauses: bool = False  # drop SMT-proven-dead map clauses
+    prune_cold_clauses: bool = False  # drop clauses cold for the dst prefix
     preprocess: bool = True          # SAT-level CNF simplification (§8)
     portfolio: int = 1               # race N seeded solver processes
 
@@ -282,6 +283,31 @@ class NetworkEncoder:
                 prefix (enables the connected-route slice).
             ns: namespace for variable names (isolates parallel encodings).
         """
+        outer_network = self.network
+        if self.options.prune_cold_clauses and dst_prefix is not None:
+            # Drop route-map clauses whose match set cannot overlap the
+            # pinned destination: with the §6.1 hoisted tests their
+            # guards are concretely false, and record-validity gating
+            # keeps non-hoisted encodings verdict-identical.  Clauses
+            # setting local-preference are kept so that
+            # NoForwardingLoops.default_candidates (which scans
+            # ``enc.network``) sees the same pivot set either way.
+            from repro.analysis.dataflow import prune_cold_for_prefix
+
+            with obs.span("encode.prune_cold"):
+                pruned_net, dropped = prune_cold_for_prefix(
+                    self.network, dst_prefix)
+            if dropped:
+                obs.metrics().counter(
+                    "encode.cold_clauses_pruned").inc(dropped)
+                self.network = pruned_net
+        try:
+            return self._encode(dst_prefix, ns)
+        finally:
+            self.network = outer_network
+
+    def _encode(self, dst_prefix: Optional[Tuple[int, int]],
+                ns: str) -> EncodedNetwork:
         with obs.span("encode.network", ns=ns,
                       routers=len(self.network.devices)) as sp:
             factory = RecordFactory(self.widths, self.fields,
@@ -430,7 +456,8 @@ class NetworkEncoder:
         # self.network is already pruned (and the copy has no BGP, hence
         # no route-map applications): don't re-run the prover per copy.
         from dataclasses import replace as _replace
-        sub_options = _replace(self.options, prune_dead_clauses=False)
+        sub_options = _replace(self.options, prune_dead_clauses=False,
+                               prune_cold_clauses=False)
         sub = NetworkEncoder(stripped, sub_options)
         ns = f"{self._ns}copy[{start},{iplib.format_ip(dst_ip_value)}]."
         copy = sub.encode(dst_prefix=(dst_ip_value, 32), ns=ns)

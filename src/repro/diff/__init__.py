@@ -9,10 +9,18 @@ CI-friendly exit codes (0 = no new violations, 1 = new violations,
 """
 
 from .cache import VerdictCache
-from .differ import DiffError, DiffReport, QueryDiff, diff_networks, diff_trees
+from .differ import (
+    ConeStat,
+    DiffError,
+    DiffReport,
+    QueryDiff,
+    diff_networks,
+    diff_trees,
+)
 from .report import render_text, to_json
 
 __all__ = [
+    "ConeStat",
     "DiffError",
     "DiffReport",
     "QueryDiff",

@@ -27,6 +27,7 @@ from repro.net.topology import Network
 from .cache import VerdictCache
 
 __all__ = [
+    "ConeStat",
     "DiffError",
     "DiffReport",
     "QueryDiff",
@@ -37,6 +38,33 @@ __all__ = [
 
 class DiffError(Exception):
     """The diff could not be computed (unreadable/unparsable tree)."""
+
+
+@dataclass
+class ConeStat:
+    """Size of one query's dependency slice on the NEW network.
+
+    ``cacheable`` is False when the dependency analysis refuses the
+    query entirely (unknown property class, unstable peer names);
+    ``bounded`` is False when it falls back to the every-fragment cone.
+    """
+
+    name: str
+    cacheable: bool
+    bounded: bool = False
+    devices: int = 0
+    fragments: int = 0
+    reason: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "cacheable": self.cacheable,
+            "bounded": self.bounded,
+            "devices": self.devices,
+            "fragments": self.fragments,
+            "reason": self.reason,
+        }
 
 
 @dataclass
@@ -74,6 +102,7 @@ class DiffReport:
     added_devices: List[str] = field(default_factory=list)
     removed_devices: List[str] = field(default_factory=list)
     queries: List[QueryDiff] = field(default_factory=list)
+    cone_stats: List[ConeStat] = field(default_factory=list)
     seconds: float = 0.0
 
     @property
@@ -127,8 +156,15 @@ def diff_networks(
     cache: Optional[VerdictCache] = None,
     old_dir: str = "<old>",
     new_dir: str = "<new>",
+    cone_stats: bool = False,
 ) -> DiffReport:
-    """Diff two already-built networks over a fixed query list."""
+    """Diff two already-built networks over a fixed query list.
+
+    With ``cone_stats=True`` the report also records how large each
+    query's dependency slice is on the NEW network (device and
+    fragment counts), so the effect of the dataflow cone tightening is
+    observable from the CLI.
+    """
     start = time.perf_counter()
     if cache is None:
         cache = VerdictCache()
@@ -171,8 +207,46 @@ def diff_networks(
         report.queries.append(
             QueryDiff(name=query.name(), old=old_res, new=new_res)
         )
+    if cone_stats:
+        report.cone_stats = _cone_stats(new, batch, options)
     report.seconds = time.perf_counter() - start
     return report
+
+
+def _cone_stats(
+    network: Network, batch: List[BatchQuery], options
+) -> List[ConeStat]:
+    from repro.analysis.deps import query_cone
+
+    stats = []
+    with obs.span("diff.cone_stats", queries=len(batch)):
+        for query in batch:
+            try:
+                cone = query_cone(
+                    network,
+                    query.prop,
+                    max_failures=query.max_failures,
+                    assumptions=query.assumptions,
+                    options=options,
+                )
+            except Exception:  # mirror the engine: analysis never fatal
+                cone = None
+            if cone is None:
+                stats.append(ConeStat(name=query.name(), cacheable=False))
+                continue
+            stats.append(
+                ConeStat(
+                    name=query.name(),
+                    cacheable=True,
+                    bounded=cone.bounded,
+                    devices=sum(
+                        1 for frags in cone.fragments.values() if frags
+                    ),
+                    fragments=cone.total_fragments(),
+                    reason=cone.reason,
+                )
+            )
+    return stats
 
 
 def diff_trees(
@@ -184,6 +258,7 @@ def diff_trees(
     conflict_budget: Optional[int] = None,
     workers: int = 1,
     cache: Optional[VerdictCache] = None,
+    cone_stats: bool = False,
 ) -> DiffReport:
     """Parse both config trees and diff the query verdicts.
 
@@ -208,4 +283,5 @@ def diff_trees(
         cache=cache,
         old_dir=str(old_dir),
         new_dir=str(new_dir),
+        cone_stats=cone_stats,
     )

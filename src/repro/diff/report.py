@@ -56,6 +56,22 @@ def render_text(report: DiffReport) -> str:
             if query.new.counterexample is not None:
                 summary = query.new.counterexample.summary()
                 lines.append("     " + summary.replace("\n", "\n     "))
+    if report.cone_stats:
+        lines.append("")
+        lines.append("dependency cones (NEW tree):")
+        for stat in report.cone_stats:
+            if not stat.cacheable:
+                lines.append(f"   {stat.name}: not cacheable")
+                continue
+            detail = (
+                f"{stat.fragments} fragments on {stat.devices} device(s)"
+            )
+            if not stat.bounded:
+                detail += " [unbounded"
+                if stat.reason:
+                    detail += f": {stat.reason}"
+                detail += "]"
+            lines.append(f"   {stat.name}: {detail}")
     lines.append("")
     replayed = len(report.replayed())
     lines.append(
@@ -108,4 +124,9 @@ def to_json(report: DiffReport, exit_code: Optional[int] = None) -> dict:
         "resolved": [q.name for q in report.resolved],
         "seconds": report.seconds,
         "exit_code": report.exit_code if exit_code is None else exit_code,
+        **(
+            {"cone_stats": [s.to_dict() for s in report.cone_stats]}
+            if report.cone_stats
+            else {}
+        ),
     }

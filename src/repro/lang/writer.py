@@ -199,26 +199,31 @@ def _format_acl_rule(rule: AclRule) -> str:
     return line
 
 
+def _route_map_clause_lines(map_name: str, clause) -> List[str]:
+    lines = [f"route-map {map_name} {clause.action} {clause.seq}"]
+    if clause.match_prefix_list:
+        lines.append(f" match ip address prefix-list "
+                     f"{clause.match_prefix_list}")
+    if clause.match_community_list:
+        lines.append(f" match community {clause.match_community_list}")
+    if clause.set_local_pref is not None:
+        lines.append(f" set local-preference {clause.set_local_pref}")
+    if clause.set_metric is not None:
+        lines.append(f" set metric {clause.set_metric}")
+    if clause.set_med is not None:
+        lines.append(f" set med {clause.set_med}")
+    if clause.add_communities:
+        comms = " ".join(clause.add_communities)
+        lines.append(f" set community {comms} additive")
+    if clause.delete_communities:
+        comms = " ".join(clause.delete_communities)
+        lines.append(f" set comm-list-delete {comms}")
+    return lines
+
+
 def _write_route_map(out: List[str], rmap: RouteMap) -> None:
     for clause in sorted(rmap.clauses, key=lambda c: c.seq):
-        out.append(f"route-map {rmap.name} {clause.action} {clause.seq}")
-        if clause.match_prefix_list:
-            out.append(f" match ip address prefix-list "
-                       f"{clause.match_prefix_list}")
-        if clause.match_community_list:
-            out.append(f" match community {clause.match_community_list}")
-        if clause.set_local_pref is not None:
-            out.append(f" set local-preference {clause.set_local_pref}")
-        if clause.set_metric is not None:
-            out.append(f" set metric {clause.set_metric}")
-        if clause.set_med is not None:
-            out.append(f" set med {clause.set_med}")
-        if clause.add_communities:
-            comms = " ".join(clause.add_communities)
-            out.append(f" set community {comms} additive")
-        if clause.delete_communities:
-            comms = " ".join(clause.delete_communities)
-            out.append(f" set comm-list-delete {comms}")
+        out.extend(_route_map_clause_lines(rmap.name, clause))
     out.append("!")
 
 
@@ -246,6 +251,9 @@ def write_fragments(config: DeviceConfig) -> List[Tuple[str, str]]:
     - ``static:<idx>`` — one per static route, position-stable
     - ``prefix-list:<name>`` / ``community-list:<name>`` /
       ``route-map:<name>`` — one per policy object
+    - ``route-map:<name>:<seq>`` — one per route-map clause, so slices
+      can include exactly the clauses that can process a relevant
+      route (the whole-map fragment still covers clause order)
     - ``acl:<name>`` — ACL header; ``acl:<name>:<idx>`` — one per rule
       (so slices can include exactly the rules that can match a packet
       while keeping rule order visible through the index)
@@ -296,7 +304,11 @@ def write_fragments(config: DeviceConfig) -> List[Tuple[str, str]]:
         for idx, rule in enumerate(acl.rules):
             emit(f"acl:{name}:{idx}", [" " + _format_acl_rule(rule)])
     for name in sorted(config.route_maps):
+        rmap = config.route_maps[name]
         lines = []
-        _write_route_map(lines, config.route_maps[name])
+        _write_route_map(lines, rmap)
         emit(f"route-map:{name}", lines[:-1])
+        for clause in sorted(rmap.clauses, key=lambda c: c.seq):
+            emit(f"route-map:{name}:{clause.seq}",
+                 _route_map_clause_lines(name, clause))
     return frags

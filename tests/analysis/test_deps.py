@@ -246,6 +246,104 @@ def test_prop_comment_insertion_never_changes_key(data):
 
 
 # ----------------------------------------------------------------------
+# Dataflow-tightened cones: clause-level projection
+# ----------------------------------------------------------------------
+
+# r2 imports from r1 through a two-clause map: clause 10 only matches
+# corporate space the session can never carry (and that cannot overlap
+# DST), clause 20 matches the rack.  The dataflow analysis proves
+# clause 10 cold, so the cone carries only the clause-20 fragment.
+PROJ_EXTRA = """\
+ip prefix-list COLD seq 10 permit 172.{cold_octet}.0.0/16 le 24
+ip prefix-list RACK seq 10 permit 10.9.0.0/24
+route-map IMPORT deny 10
+ match ip address prefix-list COLD
+route-map IMPORT permit 20
+ match ip address prefix-list RACK
+router bgp 65002
+ neighbor 10.0.0.1 route-map IMPORT in
+"""
+
+
+def proj_build(cold_octet=16, **kw):
+    return build(r2_text=R2 + PROJ_EXTRA.format(cold_octet=cold_octet), **kw)
+
+
+def test_partial_hot_map_projects_to_clause_fragments():
+    cone = query_cone(proj_build(),
+                      P.Reachability(sources="all", dest_prefix_text=DST))
+    r2 = cone.fragments["r2"]
+    assert "route-map:IMPORT:20" in r2     # the hot clause
+    assert "route-map:IMPORT:10" not in r2  # provably cold
+    assert "route-map:IMPORT" not in r2     # not the whole-map fragment
+    # Lists are pulled in only by INCLUDED clauses.
+    assert "prefix-list:RACK" in r2
+    assert "prefix-list:COLD" not in r2
+
+
+def test_all_cold_map_is_excluded_entirely():
+    # Strip the hot clause: everything the map can do is irrelevant to
+    # DST, so no fragment of it (or its list) is in the cone.
+    extra = """\
+ip prefix-list COLD seq 10 permit 172.16.0.0/16 le 24
+route-map IMPORT deny 10
+ match ip address prefix-list COLD
+router bgp 65002
+ neighbor 10.0.0.1 route-map IMPORT in
+"""
+    cone = query_cone(build(r2_text=R2 + extra),
+                      P.Reachability(sources="all", dest_prefix_text=DST))
+    r2 = cone.fragments["r2"]
+    assert not any(f.startswith("route-map:IMPORT") for f in r2)
+    assert "prefix-list:COLD" not in r2
+
+
+def test_cold_clause_edit_keeps_cache_key():
+    base = key_of(proj_build(cold_octet=16))
+    assert base is not None
+    assert base == key_of(proj_build(cold_octet=17))
+
+
+def test_hot_clause_edit_changes_cache_key():
+    edited = R2 + PROJ_EXTRA.format(cold_octet=16).replace(
+        "ip prefix-list RACK seq 10 permit 10.9.0.0/24",
+        "ip prefix-list RACK seq 10 permit 10.9.0.0/25")
+    assert key_of(proj_build()) != key_of(build(r2_text=edited))
+
+
+def test_cold_to_hot_flip_changes_cache_key():
+    # Re-pointing the cold clause's list at the destination makes the
+    # clause hot: the inclusion SET changes, so the key must change
+    # even though the clause's own text does not.
+    edited = R2 + PROJ_EXTRA.format(cold_octet=16).replace(
+        "permit 172.16.0.0/16 le 24", "permit 10.9.0.0/24")
+    assert key_of(proj_build()) != key_of(build(r2_text=edited))
+
+
+def test_structural_cone_tracks_loop_candidates_via_extras():
+    # An UNBOUND local-pref-setting map is in no propagation path — the
+    # dataflow projection excludes its fragments — but it still flips
+    # the device into NoForwardingLoops' default candidate set.  The
+    # pseudo-fragment hashed into structural cones must catch that.
+    prop = P.NoForwardingLoops(dest_prefix_text=DST)
+    plain = key_of(build(), prop)
+    extra = "route-map UNBOUND permit 10\n set local-preference 200\n"
+    risky = key_of(build(r2_text=R2 + extra), prop)
+    assert plain is not None and plain != risky
+    cone = query_cone(build(), prop)
+    assert any(key == "dataflow:loop-candidates" for key, _ in cone.extras)
+
+
+@settings(max_examples=25, deadline=None)
+@given(octet=st.integers(min_value=16, max_value=31))
+def test_prop_out_of_cone_edit_never_changes_tightened_key(octet):
+    # Renumbering the cold clause's match space (any 172.x/16) is an
+    # out-of-cone edit for DST: the dataflow-tightened slice — and so
+    # the cache key — must be unaffected, for every choice of octet.
+    assert key_of(proj_build(cold_octet=octet)) == key_of(proj_build())
+
+
+# ----------------------------------------------------------------------
 # DEP001 — referenced policy outside every propagation path
 # ----------------------------------------------------------------------
 

@@ -1,0 +1,258 @@
+"""Reporting surface: noqa suppression, SARIF output, exit codes.
+
+The exit-code matrix is the CI contract of ``repro analyze``:
+0 = clean or info-only (suppressed findings excluded), 1 = warnings,
+2 = errors.  Inline ``! repro: noqa`` directives move findings out of
+the active set without losing them — text/JSON reports count them,
+SARIF carries them with an in-source suppression.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import analyze_configs, format_text, to_json, to_sarif
+from repro.analysis.engine import _noqa_directives
+from repro.cli import main
+
+CLEAN = """\
+hostname r1
+interface eth0
+ ip address 10.0.0.1 255.255.255.0
+router bgp 65001
+ network 10.0.0.0 mask 255.255.255.0
+ neighbor 10.0.0.2 remote-as 65002
+"""
+
+# REF001 (error): route-map bound to a session but never defined.
+DANGLING = """\
+hostname r1
+interface eth0
+ ip address 10.0.0.1 255.255.255.0
+router bgp 65001
+ neighbor 10.0.0.2 remote-as 65002
+ neighbor 10.0.0.2 route-map NOPE in
+"""
+
+# XDF004 (warning): the rack prefix is filtered toward one of two
+# redundant egresses.
+ASYMMETRIC = """\
+hostname hub
+interface eth0
+ ip address 10.0.0.1 255.255.255.0
+interface eth1
+ ip address 10.0.1.1 255.255.255.0
+interface rack
+ ip address 10.9.0.1 255.255.255.0
+ip prefix-list RACK seq 10 permit 10.9.0.0/24
+route-map LEAN deny 10
+ match ip address prefix-list RACK
+route-map LEAN permit 20
+router bgp 65001
+ network 10.9.0.0 mask 255.255.255.0
+ neighbor 10.0.0.2 remote-as 65002
+ neighbor 10.0.0.2 route-map LEAN out
+ neighbor 10.0.1.2 remote-as 65003
+"""
+
+PEERS = {
+    "left.cfg": """\
+hostname left
+interface eth0
+ ip address 10.0.0.2 255.255.255.0
+router bgp 65002
+ neighbor 10.0.0.1 remote-as 65001
+""",
+    "right.cfg": """\
+hostname right
+interface eth0
+ ip address 10.0.1.2 255.255.255.0
+router bgp 65003
+ neighbor 10.0.1.1 remote-as 65001
+""",
+}
+
+
+def analyze(texts):
+    return analyze_configs(texts, smt=False)
+
+
+def suppress_at(text, needle, directive):
+    """Insert a directive line right above the line containing needle."""
+    lines = text.splitlines()
+    for i, line in enumerate(lines):
+        if needle in line:
+            return "\n".join(lines[:i] + [directive] + lines[i:]) + "\n"
+    raise AssertionError(f"{needle!r} not in config")
+
+
+# ----------------------------------------------------------------------
+# Directive parsing
+# ----------------------------------------------------------------------
+
+def test_noqa_directive_targets_next_meaningful_line():
+    text = "hostname r1\n! repro: noqa REF001\n\ninterface eth0\n"
+    assert _noqa_directives(text) == {4: frozenset({"REF001"})}
+
+
+def test_noqa_variants_and_stacking():
+    assert _noqa_directives("! repro: noqa\nline\n") == {2: frozenset()}
+    assert _noqa_directives("!repro: NOQA ref001, xdf003\nline\n") == {
+        2: frozenset({"REF001", "XDF003"})}
+    # Two stacked directives merge onto the same target line.
+    text = "! repro: noqa A001\n! repro: noqa B002\nline\n"
+    assert _noqa_directives(text) == {3: frozenset({"A001", "B002"})}
+    # A trailing directive with no following line is ignored.
+    assert _noqa_directives("line\n! repro: noqa A001\n") == {}
+
+
+def test_plain_comments_are_not_directives():
+    assert _noqa_directives("! a comment\nline\n! noqa\nother\n") == {}
+
+
+# ----------------------------------------------------------------------
+# Suppression semantics
+# ----------------------------------------------------------------------
+
+def test_noqa_moves_finding_to_suppressed():
+    report = analyze({"r1.cfg": DANGLING})
+    (diag,) = report.by_rule("REF001")
+    assert report.exit_code == 2
+
+    texts = {"r1.cfg": suppress_at(DANGLING, "route-map NOPE in",
+                                   f"! repro: noqa {diag.rule_id}")}
+    report = analyze(texts)
+    assert not report.by_rule("REF001")
+    assert [d.rule_id for d in report.suppressed] == ["REF001"]
+    assert report.exit_code == 0
+
+
+def test_noqa_for_other_rule_leaves_finding_active():
+    texts = {"r1.cfg": suppress_at(DANGLING, "route-map NOPE in",
+                                   "! repro: noqa XDF003")}
+    report = analyze(texts)
+    assert report.by_rule("REF001")
+    assert not report.suppressed
+    assert report.exit_code == 2
+
+
+def test_bare_noqa_suppresses_any_rule_on_the_line():
+    texts = {"r1.cfg": suppress_at(DANGLING, "route-map NOPE in",
+                                   "! repro: noqa")}
+    report = analyze(texts)
+    assert not report.diagnostics
+    assert len(report.suppressed) == 1
+
+
+def test_suppression_is_per_file():
+    # The same directive in an unrelated file must not leak over.
+    texts = {"r1.cfg": DANGLING,
+             "r2.cfg": suppress_at(CLEAN.replace("r1", "r2"),
+                                   "interface eth0", "! repro: noqa REF001")}
+    report = analyze(texts)
+    assert report.by_rule("REF001")
+    assert not report.suppressed
+
+
+# ----------------------------------------------------------------------
+# Report renderers
+# ----------------------------------------------------------------------
+
+def suppressed_report():
+    return analyze({"r1.cfg": suppress_at(DANGLING, "route-map NOPE in",
+                                          "! repro: noqa REF001")})
+
+
+def test_text_report_counts_suppressed():
+    text = format_text(suppressed_report())
+    assert "analysis clean" in text
+    assert "(1 suppressed)" in text
+
+
+def test_json_report_lists_suppressed():
+    doc = json.loads(to_json(suppressed_report()))
+    assert doc["exit_code"] == 0
+    assert doc["suppressed_count"] == 1
+    assert doc["suppressed"][0]["rule_id"] == "REF001"
+    assert doc["diagnostics"] == []
+
+
+def test_sarif_shape_and_suppressions():
+    doc = json.loads(to_sarif(suppressed_report()))
+    assert doc["version"] == "2.1.0"
+    (run,) = doc["runs"]
+    driver = run["tool"]["driver"]
+    rule_ids = {r["id"] for r in driver["rules"]}
+    assert "REF001" in rule_ids      # metadata for every rule that ran
+    (result,) = run["results"]
+    assert result["ruleId"] == "REF001"
+    assert result["level"] == "error"
+    assert result["suppressions"] == [{"kind": "inSource"}]
+    loc = result["locations"][0]["physicalLocation"]
+    assert loc["artifactLocation"]["uri"] == "r1.cfg"
+    assert loc["region"]["startLine"] > 0
+
+
+def test_sarif_severity_mapping():
+    report = analyze({"hub.cfg": ASYMMETRIC, **PEERS})
+    doc = json.loads(to_sarif(report))
+    levels = {r["ruleId"]: r["level"] for r in doc["runs"][0]["results"]}
+    assert levels["XDF004"] == "warning"
+
+
+# ----------------------------------------------------------------------
+# CLI exit-code matrix
+# ----------------------------------------------------------------------
+
+def write_dir(tmp_path, texts):
+    for name, text in texts.items():
+        (tmp_path / name).write_text(text)
+    return str(tmp_path)
+
+
+class TestAnalyzeExitCodes:
+    def test_clean_exits_zero(self, tmp_path, capsys):
+        code = main(["analyze", write_dir(tmp_path, {"r1.cfg": CLEAN}),
+                     "--no-smt"])
+        assert code == 0
+        assert "analysis clean" in capsys.readouterr().out
+
+    def test_warning_exits_one(self, tmp_path, capsys):
+        code = main(["analyze",
+                     write_dir(tmp_path, {"hub.cfg": ASYMMETRIC, **PEERS}),
+                     "--no-smt"])
+        assert code == 1
+        assert "XDF004" in capsys.readouterr().out
+
+    def test_error_exits_two(self, tmp_path):
+        assert main(["analyze", write_dir(tmp_path, {"r1.cfg": DANGLING}),
+                     "--no-smt"]) == 2
+
+    def test_suppressed_only_exits_zero(self, tmp_path, capsys):
+        texts = {"hub.cfg": suppress_at(ASYMMETRIC, "router bgp 65001",
+                                        "! repro: noqa XDF004"), **PEERS}
+        code = main(["analyze", write_dir(tmp_path, texts), "--no-smt"])
+        assert code == 0
+        assert "suppressed" in capsys.readouterr().out
+
+    def test_sarif_flag_emits_sarif(self, tmp_path, capsys):
+        code = main(["analyze", write_dir(tmp_path, {"r1.cfg": DANGLING}),
+                     "--no-smt", "--sarif"])
+        assert code == 2    # output format never changes the exit code
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["results"][0]["ruleId"] == "REF001"
+
+    def test_sarif_and_json_are_exclusive(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["analyze", write_dir(tmp_path, {"r1.cfg": CLEAN}),
+                  "--json", "--sarif"])
+
+    def test_rules_filter_applies_to_suppressed(self, tmp_path, capsys):
+        texts = {"r1.cfg": suppress_at(DANGLING, "route-map NOPE in",
+                                       "! repro: noqa REF001")}
+        code = main(["analyze", write_dir(tmp_path, texts),
+                     "--no-smt", "--json", "--rules", "XDF003"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["suppressed"] == [] and doc["diagnostics"] == []

@@ -540,13 +540,14 @@ def test_syn001_near_miss():
 
 def test_every_rule_has_a_test_in_this_suite():
     """The corpus covers the whole catalog: each syntactic rule id has a
-    firing test above; SMT rules are covered in test_smt_rules.py and
-    DEP001 in test_deps.py."""
+    firing test above; SMT rules are covered in test_smt_rules.py,
+    DEP001 in test_deps.py, and the XDF cross-device rules in
+    test_xdf_rules.py."""
     syntactic = {r.id for r in all_rules() if r.scope != "smt"}
     covered = {"REF001", "REF002", "REF003", "REF004", "POL001",
                "POL002", "STA001", "CFG001", "TOP001", "TOP002",
                "TOP003", "TOP004", "TOP005", "TOP006", "SYN001",
-               "DEP001"}
+               "DEP001", "XDF001", "XDF002", "XDF003", "XDF004"}
     assert syntactic == covered
 
 
@@ -557,7 +558,8 @@ def test_rule_ids_are_stable_api():
                    "SMT001", "SMT002", "SMT003", "SMT004",
                    "STA001", "SYN001",
                    "TOP001", "TOP002", "TOP003", "TOP004",
-                   "TOP005", "TOP006"]
+                   "TOP005", "TOP006",
+                   "XDF001", "XDF002", "XDF003", "XDF004"]
 
 
 def test_rules_carry_docstrings_and_severities():

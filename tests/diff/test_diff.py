@@ -257,3 +257,27 @@ def test_cli_diff_needs_queries(trees):
     _, old_dir, new_dir = trees
     with pytest.raises(SystemExit):
         main(["diff", str(old_dir), str(new_dir)])
+
+
+def test_cli_diff_cone_stats(trees, capsys):
+    _, old_dir, new_dir = trees
+    code = main(["diff", str(old_dir), str(new_dir),
+                 "--property", "reachability",
+                 "--dest-prefix", "10.1.0.0/24", "--cone-stats"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "dependency cones (NEW tree):" in out
+    assert "fragments on" in out
+    # JSON mode carries the per-query stats (and omits the key without
+    # the flag: checked by the schema assertions in the tests above).
+    code = main(["diff", str(old_dir), str(new_dir),
+                 "--property", "reachability",
+                 "--dest-prefix", "10.1.0.0/24",
+                 "--cone-stats", "--json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    (stat,) = payload["cone_stats"]
+    assert stat["name"] == "Reachability"
+    assert stat["cacheable"] and stat["bounded"]
+    assert 0 < stat["devices"] <= 10
+    assert stat["fragments"] > 0

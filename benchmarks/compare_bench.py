@@ -83,6 +83,14 @@ class Gate:
 GATES = [
     Gate("batch", "speedup", True, rel_tol=0.65, floor=1.5, hard=False),
     Gate("obs", "overhead_pct", False, abs_tol=15.0, ceiling=25.0, hard=False),
+    # Ledger recording and run-over-run comparison are deterministic
+    # (count-based metrics, fixed workload): hard floors, no band.
+    Gate("obs", "history_compare_identical", True, floor=1.0),
+    Gate("obs", "history_compare_seeded", True, floor=1.0),
+    Gate("obs", "ledger_runs", True, floor=3.0),
+    # Family count shifts when instrumentation is added/removed; only
+    # a collapse to (near) nothing means the exposition broke.
+    Gate("obs", "prom_families", True, rel_tol=0.5, floor=1.0),
     Gate("preprocess", "clause_reduction_pct", True, abs_tol=2.0, floor=20.0),
     Gate("preprocess", "solve_ratio", True, rel_tol=0.5, hard=False),
     # SAT-core differential identity and portfolio determinism are

@@ -9,24 +9,35 @@ telemetry invariants the tracing layer promises:
   span totals within 5% (they are views over the same spans);
 * per-phase self times sum to (at most, and close to) traced wall
   time on every lane;
+* the run ledger records the runs, ``repro history compare`` exits 0
+  on two identical recorded runs, and deterministically exits 1 on a
+  seeded CNF-size regression (count-based metrics, no timing
+  dependence);
+* the ``--metrics-out`` Prometheus exposition parses strictly;
 * running with tracing disabled is not measurably slower (guard set
   at 25% for CI noise on a sub-second workload; the <2% claim is
-  meaningful only at real workload sizes).
+  meaningful only at real workload sizes).  The traced side of the
+  guard includes the ledger append, so recording overhead is bounded
+  by the same band.
 
-Writes ``benchmarks/out/obs_smoke_trace.json`` (uploaded as a CI
-artifact) and ``benchmarks/out/BENCH_obs.json``.  ``--pods 4``
-reproduces the 20-router acceptance
-configuration (~1 min on a laptop).
+Writes ``benchmarks/out/obs_smoke_trace.json`` and
+``benchmarks/out/obs_smoke_ledger.sqlite`` (uploaded as CI artifacts)
+and ``benchmarks/out/BENCH_obs.json``.  ``--pods 4`` reproduces the
+20-router acceptance configuration (~1 min on a laptop).
 """
 
 import argparse
 import json
+import os
 import sys
 import time
 
 from repro import obs
+from repro.cli import main as repro_main
 from repro.core import BatchQuery, properties as P, verify_batch
 from repro.gen import build_fattree
+from repro.obs.ledger import RunLedger, build_record
+from repro.obs.promexport import parse_exposition, write_prometheus
 
 from benchmarks.harness import emit_metrics, out_path
 
@@ -56,16 +67,27 @@ def main(argv=None) -> int:
     network = tree.network
     queries = _queries(tree)
 
+    ledger_path = out_path("obs_smoke_ledger.sqlite")
+    if os.path.exists(ledger_path):
+        os.remove(ledger_path)
+
     # Untraced baseline (spans no-op; results still carry span-derived
     # timing through throwaway local tracers).
     start = time.perf_counter()
     baseline = verify_batch(network, queries, workers=args.workers)
     untraced_s = time.perf_counter() - start
 
+    # Traced run, timed INCLUDING the ledger append so the overhead
+    # guard below bounds recording cost too.
     tracer = obs.Tracer()
     start = time.perf_counter()
     with obs.use(tracer):
         results = verify_batch(network, queries, workers=args.workers)
+    record = build_record("verify-batch", ["obs-smoke"],
+                          network=network, results=results,
+                          tracer=tracer)
+    with RunLedger(ledger_path) as ledger:
+        ledger.append(record)
     traced_s = time.perf_counter() - start
 
     failures = []
@@ -142,10 +164,50 @@ def main(argv=None) -> int:
               f"lane {lane!r}: self {self_total * 1e3:.1f}ms <= wall "
               f"{wall * 1e3:.1f}ms")
 
+    # --- run ledger + history compare --------------------------------
+    # Record the untraced baseline as a second run: counts (vars,
+    # clauses, conflicts) are deterministic for the fixed workload, so
+    # the two records must compare clean, and a seeded 1.5x clause
+    # inflation must be detected — no timing dependence either way.
+    with RunLedger(ledger_path) as ledger:
+        ledger.append(build_record("verify-batch", ["obs-smoke"],
+                                   network=network, results=baseline))
+        seeded = build_record("verify-batch", ["obs-smoke", "seeded"],
+                              network=network, results=results)
+        for q in seeded.queries:
+            q["clauses"] = int(q["clauses"] * 1.5)
+        ledger.append(seeded)
+        recorded = len(ledger)
+    check(recorded == 3, f"ledger recorded {recorded} run(s)")
+
+    identical_rc = repro_main(["history", "--ledger", ledger_path,
+                               "compare", "-3", "-2"])
+    check(identical_rc == 0,
+          f"history compare of identical runs exits 0 (got "
+          f"{identical_rc})")
+    seeded_rc = repro_main(["history", "--ledger", ledger_path,
+                            "compare", "-3", "-1"])
+    check(seeded_rc == 1,
+          f"history compare flags the seeded 1.5x clause growth "
+          f"(exit {seeded_rc})")
+
+    # --- Prometheus exposition ---------------------------------------
+    prom_path = out_path("obs_smoke_metrics.prom")
+    write_prometheus(tracer.metrics, prom_path)
+    with open(prom_path) as handle:
+        try:
+            families = parse_exposition(handle.read())
+            prom_ok = len(families) > 0
+        except ValueError as exc:
+            print(f"  exposition invalid: {exc}", file=sys.stderr)
+            prom_ok = False
+    check(prom_ok, f"Prometheus exposition parses "
+          f"({len(families) if prom_ok else 0} families)")
+
     # --- overhead ----------------------------------------------------
     overhead = (traced_s - untraced_s) / untraced_s
     check(overhead < 0.25,
-          f"tracing overhead {overhead * 100:+.1f}% "
+          f"tracing+ledger overhead {overhead * 100:+.1f}% "
           f"(untraced {untraced_s:.2f}s, traced {traced_s:.2f}s)")
 
     emit_metrics("obs", {
@@ -157,6 +219,10 @@ def main(argv=None) -> int:
         "traced_seconds": round(traced_s, 4),
         "overhead_pct": round(overhead * 100, 2),
         "spans": len(tracer.spans),
+        "ledger_runs": recorded,
+        "history_compare_identical": 1.0 if identical_rc == 0 else 0.0,
+        "history_compare_seeded": 1.0 if seeded_rc == 1 else 0.0,
+        "prom_families": len(families) if prom_ok else 0,
     }, tracer=tracer)
 
     if failures:

@@ -15,9 +15,19 @@ Examples::
         --cache .repro-verdicts.json --json
     python -m repro verify-batch configs/ --property loops \
         --workers 4 --profile --trace run.trace.json
+    python -m repro verify-batch configs/ --property loops \
+        --metrics-out metrics.prom --log-json run.log.jsonl
     python -m repro stats run.trace.json
+    python -m repro history list
+    python -m repro history show -1
+    python -m repro history compare -2 -1 --threshold 10
     python -m repro equivalence configs/ R1 R2
     python -m repro simulate configs/ --from R1 --dst 10.9.0.5
+
+Verifying subcommands (verify, verify-batch, diff, analyze) append one
+row to the run ledger (``.repro-ledger.sqlite``; ``--ledger FILE`` /
+``REPRO_LEDGER`` override, ``--no-ledger`` to skip) — ``repro
+history`` lists, inspects and regression-diffs recorded runs.
 """
 
 from __future__ import annotations
@@ -26,6 +36,7 @@ import argparse
 import json
 import os
 import sys
+import time
 from contextlib import contextmanager
 from typing import List, Optional
 
@@ -62,6 +73,7 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="skip the solver-backed shadow checks")
     analyze.add_argument("--rules", nargs="*", default=None,
                          help="only report these rule ids")
+    _add_ledger_flags(analyze)
 
     verify = sub.add_parser("verify", help="verify a property")
     verify.add_argument("configs")
@@ -148,6 +160,44 @@ def _build_parser() -> argparse.ArgumentParser:
         help="summarize a trace file written by --trace (phase "
              "breakdown table plus recorded metrics)")
     stats.add_argument("trace", help="trace file (Chrome JSON or JSONL)")
+
+    history = sub.add_parser(
+        "history",
+        help="inspect the run ledger: list recorded runs, show one, "
+             "or compare two for regressions")
+    history.add_argument("--ledger", default=None, metavar="FILE",
+                         help="ledger database (default: "
+                              ".repro-ledger.sqlite or $REPRO_LEDGER)")
+    hsub = history.add_subparsers(dest="history_command", required=True)
+    hlist = hsub.add_parser("list", help="recorded runs, newest first")
+    hlist.add_argument("--limit", type=int, default=20)
+    hlist.add_argument("--command", dest="command_filter", default=None,
+                       help="only runs of this subcommand")
+    hlist.add_argument("--json", action="store_true")
+    hshow = hsub.add_parser("show", help="one run in full detail")
+    hshow.add_argument("run", help="run id, unique prefix, or -N "
+                                   "(-1 = most recent)")
+    hshow.add_argument("--json", action="store_true")
+    hcmp = hsub.add_parser(
+        "compare",
+        help="diff two runs: verdicts, CNF sizes, conflicts, phase "
+             "timings (exit 0 clean / 1 regression / 2 error)")
+    hcmp.add_argument("old", help="baseline run (id, prefix, or -N)")
+    hcmp.add_argument("new", help="candidate run (id, prefix, or -N)")
+    hcmp.add_argument("--threshold", type=float, default=10.0,
+                      metavar="PCT",
+                      help="max growth of deterministic count metrics "
+                           "(vars/clauses/conflicts) before failing "
+                           "(default 10%%)")
+    hcmp.add_argument("--time-threshold", type=float, default=50.0,
+                      metavar="PCT",
+                      help="max growth of timing metrics before "
+                           "warning (default 50%%)")
+    hcmp.add_argument("--gate-timings", action="store_true",
+                      help="timing growth beyond --time-threshold "
+                           "fails instead of warning (noisy runners "
+                           "beware)")
+    hcmp.add_argument("--json", action="store_true")
     return parser
 
 
@@ -175,6 +225,15 @@ def _add_query_flags(parser: argparse.ArgumentParser) -> None:
                              "(1 = serial)")
 
 
+def _add_ledger_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--ledger", default=None, metavar="FILE",
+                        help="run-ledger database to append this run to "
+                             "(default: .repro-ledger.sqlite, or "
+                             "$REPRO_LEDGER)")
+    parser.add_argument("--no-ledger", action="store_true",
+                        help="do not record this run in the ledger")
+
+
 def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--stats", action="store_true",
                         help="print per-query vars/clauses/conflicts and "
@@ -186,18 +245,74 @@ def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--profile", action="store_true",
                         help="print the phase-breakdown table and "
                              "pipeline metrics after the run")
+    parser.add_argument("--metrics-out", default=None, metavar="FILE",
+                        help="write the run's metrics as Prometheus/"
+                             "OpenMetrics text exposition")
+    parser.add_argument("--log-json", default=None, metavar="FILE",
+                        help="structured JSON logs ('-' for stderr); "
+                             "every record carries this run's id")
+    _add_ledger_flags(parser)
+
+
+class _RunContext:
+    """Mutable carrier the command handlers fill in while running under
+    :func:`_observed`: the loaded network, encoder options and results
+    feed the ledger row written at exit."""
+
+    __slots__ = ("tracer", "run_id", "network", "options", "results",
+                 "config_hash", "extra")
+
+    def __init__(self, tracer, run_id: str) -> None:
+        self.tracer = tracer
+        self.run_id = run_id
+        self.network = None
+        self.options = None
+        self.results: List = []
+        self.config_hash: Optional[str] = None
+        self.extra: dict = {}
 
 
 @contextmanager
-def _observed(args):
-    """Install a tracer for the run when --trace/--profile asks for one;
-    write the trace file and/or print the profile tables afterwards."""
-    if not (args.trace or args.profile):
-        yield
-        return
-    tracer = obs.Tracer()
-    with obs.use(tracer):
-        yield
+def _observed(args, command: Optional[str] = None):
+    """Observe one CLI run end to end.
+
+    Installs a process-wide tracer when anything needs the telemetry —
+    ``--trace``/``--profile``/``--metrics-out``, or the run ledger
+    (on by default) — then, afterwards, writes the trace file, prints
+    the profile tables, writes the Prometheus exposition, and appends
+    the ledger row.  Yields a :class:`_RunContext` the handler fills
+    in as it goes.
+    """
+    from repro.obs import ledger as ledgerlib, log as loglib
+
+    ledger_on = (command is not None
+                 and not getattr(args, "no_ledger", True))
+    want_tracer = bool(args.trace or args.profile
+                       or getattr(args, "metrics_out", None) or ledger_on)
+    run_id = loglib.new_run_id()
+    log_handler = None
+    if getattr(args, "log_json", None):
+        log_handler = loglib.configure(args.log_json, run=run_id)
+    else:
+        loglib.set_run_id(run_id)
+    ctx = _RunContext(obs.Tracer() if want_tracer else obs.NULL_TRACER,
+                      run_id)
+    started = time.time()
+    loglib.event("run.start", command=command or args.command,
+                 argv=list(sys.argv[1:]))
+    try:
+        if want_tracer:
+            with obs.use(ctx.tracer):
+                yield ctx
+        else:
+            yield ctx
+    finally:
+        loglib.event("run.finish", command=command or args.command,
+                     seconds=round(time.time() - started, 4))
+        if log_handler is not None:
+            loglib.unconfigure(log_handler)
+        loglib.set_run_id(None)
+    tracer = ctx.tracer
     if args.trace:
         obs.export.write_trace(tracer, args.trace)
         print(f"trace written to {args.trace}", file=sys.stderr)
@@ -205,6 +320,30 @@ def _observed(args):
         print(obs.export.phase_table(tracer))
         if len(tracer.metrics):
             print(obs.export.metrics_table(tracer))
+    if getattr(args, "metrics_out", None):
+        obs.promexport.write_prometheus(tracer.metrics, args.metrics_out)
+        print(f"metrics written to {args.metrics_out}", file=sys.stderr)
+    if ledger_on:
+        record = ledgerlib.build_record(
+            command, sys.argv[1:], run_id=run_id,
+            network=ctx.network, options=ctx.options,
+            results=ctx.results, tracer=tracer,
+            started=started, config_hash=ctx.config_hash,
+            extra=ctx.extra)
+        _append_ledger(args, record)
+
+
+def _append_ledger(args, record) -> None:
+    from repro.obs import ledger as ledgerlib
+
+    path = getattr(args, "ledger", None) or ledgerlib.default_ledger_path()
+    try:
+        with ledgerlib.RunLedger(path) as ledger:
+            ledger.append(record)
+    except Exception as exc:
+        # Recording must never break verification itself.
+        print(f"warning: could not record run in ledger {path}: {exc}",
+              file=sys.stderr)
 
 
 def _stats_line(result) -> str:
@@ -310,6 +449,15 @@ def _cmd_analyze(args) -> int:
         print(to_sarif(report))
     else:
         print(to_json(report) if args.json else format_text(report))
+    if not args.no_ledger:
+        from repro.obs import ledger as ledgerlib
+
+        _append_ledger(args, ledgerlib.build_record(
+            "analyze", sys.argv[1:],
+            config_hash=ledgerlib.texts_hash(texts),
+            extra={"diagnostics": len(report.diagnostics),
+                   "suppressed": len(report.suppressed),
+                   "exit_code": report.exit_code}))
     return report.exit_code
 
 
@@ -333,7 +481,7 @@ def _check_portfolio_width(portfolio: int) -> None:
 
 def _cmd_verify(args) -> int:
     _check_portfolio_width(args.portfolio)
-    with _observed(args):
+    with _observed(args, command="verify") as ctx:
         network = load_network(args.configs)
         verifier = Verifier(network, options=EncoderOptions(
             preprocess=not args.no_preprocess,
@@ -342,6 +490,8 @@ def _cmd_verify(args) -> int:
         assumptions = [P.announces(peer) for peer in args.announced_by]
         result = verifier.verify(prop, max_failures=args.max_failures,
                                  assumptions=assumptions)
+        ctx.network, ctx.options = network, verifier.options
+        ctx.results = [result]
     print(result)
     if args.stats:
         print(_stats_line(result))
@@ -399,13 +549,15 @@ def _cmd_verify_batch(args) -> int:
     if args.workers < 1:
         raise SystemExit("--workers must be >= 1")
     _check_portfolio_width(args.portfolio)
-    with _observed(args):
+    with _observed(args, command="verify-batch") as ctx:
         network = load_network(args.configs)
         verifier = Verifier(network, options=EncoderOptions(
             preprocess=not args.no_preprocess,
             portfolio=args.portfolio))
         queries = _batch_queries(args)
         results = verifier.verify_batch(queries, workers=args.workers)
+        ctx.network, ctx.options = network, verifier.options
+        ctx.results = results
     status_text = {True: "HOLDS", False: "VIOLATED", None: "UNKNOWN"}
     for query, result in zip(queries, results):
         line = (f"{result.property_name}: {status_text[result.holds]} "
@@ -437,12 +589,24 @@ def _cmd_diff(args) -> int:
         raise SystemExit("--workers must be >= 1")
     cache = VerdictCache.load(args.cache) if args.cache else VerdictCache()
     try:
-        with _observed(args):
+        with _observed(args, command="diff") as ctx:
             queries = _batch_queries(args)
             options = EncoderOptions(preprocess=not args.no_preprocess)
             report = diff_trees(args.old, args.new, queries,
                                 options=options, workers=args.workers,
                                 cache=cache, cone_stats=args.cone_stats)
+            ctx.options = options
+            # NEW-side verdicts (with replay flags) are the run's
+            # outcome; the pair of tree hashes anchors reproducibility.
+            ctx.results = [q.new for q in report.queries]
+            ctx.config_hash = report.new_hash
+            ctx.extra = {
+                "old_dir": str(args.old), "new_dir": str(args.new),
+                "old_hash": report.old_hash,
+                "changed_devices": len(report.changed_devices),
+                "flips": len(report.flips),
+                "new_violations": len(report.new_violations),
+            }
     except DiffError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -467,6 +631,151 @@ def _cmd_stats(args) -> int:
     if data.get("metrics"):
         print(obs.export.metrics_table(data["metrics"]))
     return 0
+
+
+def _cmd_history(args) -> int:
+    from repro.obs import ledger as ledgerlib
+
+    path = args.ledger or ledgerlib.default_ledger_path()
+    try:
+        with ledgerlib.RunLedger(path) as ledger:
+            if args.history_command == "list":
+                return _history_list(args, ledger)
+            if args.history_command == "show":
+                return _history_show(args, ledger)
+            return _history_compare(args, ledger)
+    except ledgerlib.LedgerError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _fmt_when(epoch: float) -> str:
+    from datetime import datetime
+
+    return datetime.fromtimestamp(epoch).strftime("%Y-%m-%d %H:%M:%S")
+
+
+def _history_list(args, ledger) -> int:
+    runs = ledger.runs(limit=args.limit, command=args.command_filter)
+    if args.json:
+        print(json.dumps(runs, indent=1))
+        return 0
+    if not runs:
+        print(f"(no runs recorded in {ledger.path})")
+        return 0
+    header = (f"{'run':<12}  {'command':<12}  {'when':<19}  "
+              f"{'secs':>7}  {'queries':>7}  verdicts")
+    print(header)
+    print("-" * len(header))
+    for run in runs:
+        if run["queries"]:
+            verdict = f"{run['holding']}/{run['queries']} hold"
+            if run["cached"]:
+                verdict += f" ({run['cached']} cached)"
+        elif "diagnostics" in run["extra"]:
+            verdict = f"{run['extra']['diagnostics']} finding(s)"
+        else:
+            verdict = "-"
+        print(f"{run['run_id']:<12}  {run['command']:<12}  "
+              f"{_fmt_when(run['started']):<19}  "
+              f"{run['seconds']:>7.2f}  {run['queries']:>7}  {verdict}")
+    return 0
+
+
+def _history_show(args, ledger) -> int:
+    record = ledger.get(args.run)
+    if args.json:
+        from dataclasses import asdict
+
+        print(json.dumps(asdict(record), indent=1))
+        return 0
+    print(f"run      {record.run_id}  ({record.command})")
+    print(f"when     {_fmt_when(record.started)}  "
+          f"({record.seconds:.2f}s)")
+    print(f"argv     {' '.join(record.argv)}")
+    if record.config_hash:
+        print(f"configs  {record.config_hash[:16]}")
+    if record.options:
+        print(f"options  {record.options}")
+    if record.workload:
+        detail = " ".join(f"{k}={v}"
+                          for k, v in sorted(record.workload.items()))
+        print(f"network  {detail}")
+    print(f"verdicts {record.verdict_summary()}")
+    if record.queries:
+        print("queries:")
+        status = {True: "HOLDS", False: "VIOLATED", None: "UNKNOWN"}
+        for q in record.queries:
+            line = (f"  {q['name']}: {status[q['holds']]} "
+                    f"{q['seconds'] * 1e3:.1f}ms vars={q['vars']} "
+                    f"clauses={q['clauses']} conflicts={q['conflicts']}")
+            if q["cached"]:
+                line += " [cached]"
+            print(line)
+    if record.phases:
+        print("phases:")
+        ordered = sorted(record.phases.items(),
+                         key=lambda kv: -kv[1]["total_seconds"])
+        for name, row in ordered:
+            print(f"  {name:<28} x{row['count']:<4} "
+                  f"{row['total_seconds'] * 1e3:>9.1f}ms")
+    if record.extra:
+        print("extra:")
+        for key, value in sorted(record.extra.items()):
+            print(f"  {key} = {value}")
+    return 0
+
+
+def _history_compare(args, ledger) -> int:
+    from repro.obs.ledger import compare_runs
+
+    old = ledger.get(args.old)
+    new = ledger.get(args.new)
+    report = compare_runs(old, new,
+                          threshold=args.threshold / 100.0,
+                          time_threshold=args.time_threshold / 100.0,
+                          gate_timings=args.gate_timings)
+    code = 1 if report["regressions"] else 0
+    if args.json:
+        print(json.dumps({**report, "exit_code": code}, indent=1))
+        return code
+    print(f"comparing {old.run_id} ({old.command}) -> "
+          f"{new.run_id} ({new.command})")
+    if report["config_changed"]:
+        print("note: config hashes differ — the runs verified "
+              "different networks")
+    if report["options_changed"]:
+        print("note: encoder options differ between the runs")
+    status = {True: "HOLDS", False: "VIOLATED", None: "UNKNOWN"}
+    for entry in report["queries"]:
+        deltas = entry["deltas"]
+        parts = []
+        for fld in ("vars", "clauses", "conflicts"):
+            a, b = deltas[fld]["old"], deltas[fld]["new"]
+            parts.append(f"{fld} {a}->{b}" if a != b else f"{fld} {a}")
+        a, b = deltas["seconds"]["old"], deltas["seconds"]["new"]
+        parts.append(f"time {a * 1e3:.1f}->{b * 1e3:.1f}ms")
+        verdict = status[entry["old_holds"]]
+        if entry["old_holds"] != entry["new_holds"]:
+            verdict += f" -> {status[entry['new_holds']]}"
+        print(f"  {entry['name']}: {verdict}  " + "  ".join(parts))
+    for name in report["missing"]:
+        print(f"  {name}: only in baseline run")
+    for name in report["added"]:
+        print(f"  {name}: only in candidate run")
+    if report["phases"]:
+        print("phases:")
+        for row in report["phases"]:
+            print(f"  {row['name']:<28} {row['old'] * 1e3:>9.1f}ms -> "
+                  f"{row['new'] * 1e3:>9.1f}ms")
+    for text in report["warnings"]:
+        print(f"warning: {text}")
+    for text in report["regressions"]:
+        print(f"REGRESSION: {text}")
+    print("result: "
+          + (f"{len(report['regressions'])} regression(s)"
+             if report["regressions"] else "no regressions"))
+    return code
 
 
 def _cmd_equivalence(args) -> int:
@@ -518,6 +827,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "equivalence": _cmd_equivalence,
         "simulate": _cmd_simulate,
         "stats": _cmd_stats,
+        "history": _cmd_history,
     }
     try:
         return handlers[args.command](args)

@@ -36,12 +36,12 @@ a solver; they are routed through ``Verifier.verify`` individually.
 
 from __future__ import annotations
 
-import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
+from repro.obs import log as obslog
 from repro.net import ip as iplib
 from repro.net.topology import Network
 from repro.smt import Solver, UNKNOWN, UNSAT, implies, not_
@@ -192,9 +192,11 @@ class BatchEngine:
                              assumptions=query.assumptions,
                              options=self.options)
         except Exception as exc:
-            warnings.warn(f"dependency analysis failed for "
-                          f"{query.name()} ({exc!r}); re-verifying",
-                          RuntimeWarning, stacklevel=2)
+            obslog.warn_event(
+                "engine.dep_analysis_failed",
+                f"dependency analysis failed for "
+                f"{query.name()} ({exc!r}); re-verifying",
+                query=query.name(), error=repr(exc))
             return None
 
     # ------------------------------------------------------------------
@@ -232,7 +234,8 @@ class BatchEngine:
                     pool.submit(_solve_group, self.network,
                                 self._group_options(key),
                                 self.conflict_budget, key[0], members,
-                                collect_trace=tracer.enabled)
+                                collect_trace=tracer.enabled,
+                                run_id=obslog.run_id())
                     for key, members in items]
                 for future in as_completed(futures):
                     pairs, trace_payload = future.result()
@@ -245,10 +248,11 @@ class BatchEngine:
             # spawn method, unpicklable networks) behind a mysterious
             # serial slowdown — make it loud and countable.
             obs.metrics().counter("engine.pool_fallback").inc()
-            warnings.warn(
+            obslog.warn_event(
+                "engine.pool_fallback",
                 f"batch process pool failed ({exc!r}); "
                 f"re-running {len(items)} groups serially",
-                RuntimeWarning, stacklevel=2)
+                groups=len(items), workers=workers, error=repr(exc))
             return False
         return True
 
@@ -264,6 +268,7 @@ def _solve_group(network: Network, options: EncoderOptions,
                  dst_prefix: Optional[Tuple[int, int]],
                  members: List[Tuple[int, BatchQuery]],
                  collect_trace: bool = False,
+                 run_id: Optional[str] = None,
                  ) -> Tuple[List[Tuple[int, VerificationResult]],
                             Optional[Dict]]:
     """Encode the network once and discharge every query of the group.
@@ -271,8 +276,12 @@ def _solve_group(network: Network, options: EncoderOptions,
     Module-level so it can be pickled to process-pool workers.  Returns
     the per-query results plus — with ``collect_trace`` (the
     process-pool path under an enabled tracer) — the worker-side span
-    buffer for the parent to merge at join time.
+    buffer for the parent to merge at join time.  ``run_id`` carries the
+    parent's log correlation id across the process boundary so worker
+    log records join the same run.
     """
+    if run_id is not None:
+        obslog.set_run_id(run_id)
     lane = _group_lane(dst_prefix, options.max_failures)
     if collect_trace:
         tracer = obs.Tracer(lane=lane)

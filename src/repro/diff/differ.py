@@ -104,6 +104,10 @@ class DiffReport:
     queries: List[QueryDiff] = field(default_factory=list)
     cone_stats: List[ConeStat] = field(default_factory=list)
     seconds: float = 0.0
+    #: content hashes of the two trees (canonical device forms), the
+    #: run ledger's reproducibility anchor for diff invocations
+    old_hash: str = ""
+    new_hash: str = ""
 
     @property
     def flips(self) -> List[QueryDiff]:
@@ -173,12 +177,16 @@ def diff_networks(
         for q in queries
     ]
     changed, added, removed = changed_devices(old, new)
+    from repro.obs.ledger import network_hash
+
     report = DiffReport(
         old_dir=old_dir,
         new_dir=new_dir,
         changed_devices=changed,
         added_devices=added,
         removed_devices=removed,
+        old_hash=network_hash(old),
+        new_hash=network_hash(new),
     )
     with obs.span(
         "diff.run", queries=len(batch), changed_devices=len(changed)

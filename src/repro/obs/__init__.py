@@ -24,8 +24,12 @@ pays nothing for the hooks it does not use.
 """
 
 from . import export
+from . import ledger
+from . import log
+from . import promexport
 from .metrics import (
     Counter,
+    DEFAULT_BUCKETS,
     Gauge,
     Histogram,
     MetricsRegistry,
@@ -49,6 +53,6 @@ __all__ = [
     "Span", "Tracer", "NullTracer", "NULL_TRACER",
     "active", "enable", "disable", "span", "use", "metrics",
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
-    "NullRegistry", "NULL_REGISTRY",
-    "export",
+    "NullRegistry", "NULL_REGISTRY", "DEFAULT_BUCKETS",
+    "export", "ledger", "log", "promexport",
 ]

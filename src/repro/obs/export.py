@@ -98,10 +98,28 @@ def metrics_table(source, title: str = "metrics") -> str:
             if count:
                 detail += (f" min={entry.get('min', 0.0):.4f}"
                            f" max={entry.get('max', 0.0):.4f}")
+                quantiles = _snapshot_quantiles(entry, (0.5, 0.95))
+                if quantiles:
+                    detail += (f" p50={quantiles[0]:.4f}"
+                               f" p95={quantiles[1]:.4f}")
         else:
             detail = f"{entry.get('value', 0)}"
         lines.append(f"{key:<44}  {detail}")
     return "\n".join(lines)
+
+
+def _snapshot_quantiles(entry, qs):
+    """Quantile estimates from a histogram *snapshot* dict (bucketed
+    snapshots only — moment-only snapshots return no estimates)."""
+    from .metrics import Histogram
+
+    bounds = entry.get("bounds")
+    buckets = entry.get("buckets")
+    if not bounds or not buckets or len(buckets) != len(bounds) + 1:
+        return None
+    hist = Histogram(bounds=bounds)
+    hist.merge(entry)
+    return [hist.quantile(q) for q in qs]
 
 
 # ---------------------------------------------------------------------------

@@ -14,12 +14,20 @@ the disabled-tracing mode; it hands out shared do-nothing instruments.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Tuple
+import bisect
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
-           "NullRegistry", "NULL_REGISTRY"]
+           "NullRegistry", "NULL_REGISTRY", "DEFAULT_BUCKETS"]
 
 _Key = Tuple[str, Tuple[Tuple[str, Any], ...]]
+
+#: Default histogram bucket upper bounds (seconds-oriented, spanning
+#: sub-millisecond solver phases up to minute-scale batch runs).  The
+#: implicit final bucket is +Inf, so every observation lands somewhere.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0)
 
 
 class Counter:
@@ -65,22 +73,35 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming distribution summary: count / sum / min / max.
+    """Streaming distribution: exact moments plus fixed bucket counts.
 
-    Moments only — no bucket boundaries to choose, constant memory, and
-    exact mergeability across processes; enough to report mean solve
-    time and worst-case outliers in the phase table.
+    Moments (count / sum / min / max) stay exact and mergeable as
+    before.  On top of them, observations are tallied into fixed
+    upper-bound buckets (:data:`DEFAULT_BUCKETS` unless overridden) so
+    Prometheus exposition and the phase table can report quantile
+    estimates (p50/p95) without unbounded memory.  Merging two
+    histograms with the same boundaries is exact bucket-wise; a merge
+    from a snapshot with different boundaries keeps the moments exact
+    and folds the foreign counts into the overflow bucket — quantiles
+    degrade conservatively, totals never lie.
     """
 
-    __slots__ = ("count", "total", "min", "max")
+    __slots__ = ("count", "total", "min", "max", "bounds", "buckets")
 
     kind = "histogram"
 
-    def __init__(self) -> None:
+    def __init__(self, bounds: Optional[Sequence[float]] = None) -> None:
         self.count = 0
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self.bounds: Tuple[float, ...] = tuple(
+            bounds if bounds is not None else DEFAULT_BUCKETS)
+        if list(self.bounds) != sorted(set(self.bounds)):
+            raise ValueError("histogram bounds must be strictly increasing")
+        # buckets[i] counts observations <= bounds[i] (non-cumulative);
+        # buckets[-1] is the +Inf overflow bucket.
+        self.buckets: List[int] = [0] * (len(self.bounds) + 1)
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -89,13 +110,52 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        self.buckets[bisect.bisect_left(self.bounds, value)] += 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """Prometheus-style ``(le, cumulative count)`` pairs, ending
+        with the ``+Inf`` bucket (whose count equals ``count``)."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(self.bounds, self.buckets):
+            running += n
+            out.append((bound, running))
+        out.append((float("inf"), running + self.buckets[-1]))
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Estimate the q-quantile (0 <= q <= 1) from the buckets.
+
+        Linear interpolation inside the containing bucket, clamped to
+        the exact observed min/max so estimates never leave the true
+        range.  Returns 0.0 on an empty histogram.
+        """
+        if not self.count:
+            return 0.0
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        rank = q * self.count
+        running = 0.0
+        lower = 0.0
+        for bound, n in zip(self.bounds, self.buckets):
+            if running + n >= rank and n:
+                fraction = (rank - running) / n
+                estimate = lower + (bound - lower) * fraction
+                return min(max(estimate, self.min), self.max)
+            running += n
+            lower = bound
+        # Rank falls in the +Inf overflow bucket: the exact max is the
+        # only finite bound available.
+        return self.max
+
     def snapshot(self) -> Dict[str, Any]:
-        out = {"count": self.count, "sum": self.total}
+        out: Dict[str, Any] = {"count": self.count, "sum": self.total,
+                               "bounds": list(self.bounds),
+                               "buckets": list(self.buckets)}
         if self.count:
             out["min"] = self.min
             out["max"] = self.max
@@ -108,6 +168,20 @@ class Histogram:
             self.min = data["min"]
         if "max" in data and data["max"] > self.max:
             self.max = data["max"]
+        foreign_bounds = tuple(data.get("bounds", ()))
+        foreign = data.get("buckets")
+        if foreign and foreign_bounds == self.bounds \
+                and len(foreign) == len(self.buckets):
+            for i, n in enumerate(foreign):
+                self.buckets[i] += n
+        elif foreign:
+            # Boundary mismatch (snapshot from an older/custom layout):
+            # moments above stay exact; park the counts in the overflow
+            # bucket so cumulative totals still add up.
+            self.buckets[-1] += sum(foreign)
+        elif data.get("count"):
+            # Pre-bucket snapshot (moments only).
+            self.buckets[-1] += data["count"]
 
 
 class _NullInstrument:

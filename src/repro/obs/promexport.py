@@ -1,0 +1,223 @@
+"""Prometheus / OpenMetrics text exposition for the metrics registry.
+
+Turns a :class:`~repro.obs.metrics.MetricsRegistry` (or a snapshot dict
+from :meth:`MetricsRegistry.snapshot`) into the Prometheus text format
+(version 0.0.4): ``# HELP`` / ``# TYPE`` headers, one sample line per
+instrument, label sets rendered as ``{k="v"}``, histograms expanded
+into cumulative ``_bucket{le=...}`` series plus ``_sum`` and
+``_count``.  Counters get the conventional ``_total`` suffix.
+
+The format is what a future ``repro serve`` daemon will mount at
+``/metrics``; today the ``--metrics-out FILE`` CLI flag writes one
+snapshot per run so existing Prometheus tooling (promtool, Grafana
+Agent's textfile collector, node_exporter's textfile module) can scrape
+batch-verification runs without any bespoke glue.
+
+:func:`parse_exposition` is a minimal reader for the same format, used
+by the test suite and the obs smoke to prove round-trip validity — it
+is deliberately strict about the grammar it accepts.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Dict, List, Tuple
+
+__all__ = ["to_prometheus", "write_prometheus", "parse_exposition"]
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_OK = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)\s*$")
+_LABEL_PAIR = re.compile(
+    r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"')
+
+
+def _sanitize_name(name: str) -> str:
+    """Map a registry metric name onto the Prometheus grammar.
+
+    Registry names use dots as namespace separators (``sat.conflicts``);
+    Prometheus wants ``[a-zA-Z_:][a-zA-Z0-9_:]*``, conventionally with
+    underscores.  Anything else degrades to ``_``.
+    """
+    out = re.sub(r"[^a-zA-Z0-9_:]", "_", name.replace(".", "_"))
+    if not out or not _NAME_OK.match(out):
+        out = "_" + out
+    return out
+
+
+def _sanitize_label(name: str) -> str:
+    out = re.sub(r"[^a-zA-Z0-9_]", "_", str(name))
+    if not out or not _LABEL_OK.match(out):
+        out = "_" + out
+    return out
+
+
+def _escape_label_value(value: Any) -> str:
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if math.isnan(value):
+            return "NaN"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return repr(value)
+    return str(value)
+
+
+def _label_text(labels: Dict[str, Any],
+                extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    pairs = [(_sanitize_label(k), _escape_label_value(v))
+             for k, v in sorted(labels.items())]
+    pairs.extend(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def to_prometheus(source) -> str:
+    """Render a registry (or its snapshot dict) as Prometheus text.
+
+    Instruments sharing a name (differing only in labels) are grouped
+    under one ``# TYPE`` header, as the format requires.
+    """
+    if hasattr(source, "snapshot"):
+        source = source.snapshot()
+    # Group entries by exposition name so each family gets exactly one
+    # TYPE header no matter how many label sets it carries.
+    families: Dict[str, List[Dict[str, Any]]] = {}
+    kinds: Dict[str, str] = {}
+    for entry in source.values():
+        kind = entry.get("kind")
+        if kind not in ("counter", "gauge", "histogram"):
+            continue
+        name = _sanitize_name(entry["name"])
+        if kind == "counter" and not name.endswith("_total"):
+            name += "_total"
+        families.setdefault(name, []).append(entry)
+        kinds[name] = kind
+    lines: List[str] = []
+    for name in sorted(families):
+        kind = kinds[name]
+        raw = families[name][0]["name"]
+        lines.append(f"# HELP {name} repro metric {raw}")
+        lines.append(f"# TYPE {name} {kind}")
+        for entry in families[name]:
+            labels = entry.get("labels", {})
+            if kind == "histogram":
+                lines.extend(_histogram_lines(name, labels, entry))
+            else:
+                lines.append(f"{name}{_label_text(labels)} "
+                             f"{_format_value(entry.get('value', 0))}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _histogram_lines(name: str, labels: Dict[str, Any],
+                     entry: Dict[str, Any]) -> List[str]:
+    lines: List[str] = []
+    bounds = entry.get("bounds", [])
+    buckets = entry.get("buckets", [])
+    running = 0
+    if bounds and len(buckets) == len(bounds) + 1:
+        for bound, n in zip(bounds, buckets):
+            running += n
+            le = _format_value(float(bound))
+            lines.append(
+                f"{name}_bucket{_label_text(labels, (('le', le),))} "
+                f"{running}")
+        running += buckets[-1]
+    else:
+        running = entry.get("count", 0)
+    lines.append(f"{name}_bucket{_label_text(labels, (('le', '+Inf'),))} "
+                 f"{running}")
+    lines.append(f"{name}_sum{_label_text(labels)} "
+                 f"{_format_value(float(entry.get('sum', 0.0)))}")
+    lines.append(f"{name}_count{_label_text(labels)} "
+                 f"{entry.get('count', 0)}")
+    return lines
+
+
+def write_prometheus(source, path: str) -> None:
+    """Write one exposition snapshot to ``path``."""
+    text = to_prometheus(source)
+    with open(path, "w") as handle:
+        handle.write(text)
+
+
+def parse_exposition(text: str) -> Dict[str, List[dict]]:
+    """Strictly parse Prometheus text exposition back into samples.
+
+    Returns ``{family name: [{"labels": {...}, "value": float}, ...]}``
+    and raises :class:`ValueError` on any line that is neither a
+    comment nor a well-formed sample, on a sample preceding its TYPE
+    header, or on a histogram whose ``_count`` disagrees with its
+    ``+Inf`` bucket — enough strictness to make "parses as valid
+    exposition" a meaningful test assertion.
+    """
+    samples: Dict[str, List[dict]] = {}
+    types: Dict[str, str] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in (
+                    "counter", "gauge", "histogram", "summary", "untyped"):
+                raise ValueError(f"line {lineno}: malformed TYPE: {line!r}")
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE.match(line)
+        if not match:
+            raise ValueError(f"line {lineno}: malformed sample: {line!r}")
+        name = match.group("name")
+        labels: Dict[str, str] = {}
+        label_text = match.group("labels")
+        if label_text:
+            consumed = 0
+            for pair in _LABEL_PAIR.finditer(label_text):
+                labels[pair.group("key")] = pair.group("value")
+                consumed = pair.end()
+            remainder = label_text[consumed:].strip().strip(",")
+            if remainder:
+                raise ValueError(
+                    f"line {lineno}: malformed labels: {label_text!r}")
+        raw = match.group("value")
+        try:
+            value = float(raw.replace("+Inf", "inf").replace(
+                "-Inf", "-inf"))
+        except ValueError:
+            raise ValueError(f"line {lineno}: bad value {raw!r}")
+        family = re.sub(r"_(bucket|sum|count)$", "", name)
+        if family not in types and name not in types:
+            raise ValueError(
+                f"line {lineno}: sample {name!r} precedes its TYPE header")
+        samples.setdefault(family, []).append(
+            {"name": name, "labels": labels, "value": value})
+    for family, rows in samples.items():
+        if types.get(family) != "histogram":
+            continue
+        counts = {tuple(sorted((k, v) for k, v in r["labels"].items()
+                               if k != "le")): r["value"]
+                  for r in rows if r["name"].endswith("_count")}
+        for row in rows:
+            if row["name"].endswith("_bucket") \
+                    and row["labels"].get("le") == "+Inf":
+                key = tuple(sorted((k, v)
+                            for k, v in row["labels"].items() if k != "le"))
+                if key in counts and counts[key] != row["value"]:
+                    raise ValueError(
+                        f"{family}: +Inf bucket {row['value']} != "
+                        f"_count {counts[key]}")
+    return samples

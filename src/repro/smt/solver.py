@@ -17,10 +17,10 @@ from __future__ import annotations
 
 import os
 import time
-import warnings
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro import obs
+from repro.obs import log as obslog
 from .bitblast import Blaster
 from .evaluator import evaluate
 from .sat import SatSolver
@@ -288,10 +288,11 @@ class Solver:
                              preprocess=False,
                              configs=default_configs(workers))
             except PortfolioError as exc:
-                warnings.warn(
+                obslog.warn_event(
+                    "sat.portfolio_fallback",
                     f"portfolio solving unavailable ({exc}); "
                     "falling back to a serial solve",
-                    RuntimeWarning, stacklevel=3)
+                    stacklevel=3, workers=workers, error=str(exc))
                 obs.metrics().counter("sat.portfolio_fallback").inc()
                 sp.set(outcome="fallback")
                 return None

@@ -1,0 +1,15 @@
+"""Shared test fixtures.
+
+The run ledger is on by default for verifying CLI commands; without
+redirection every ``main([...])`` call in the suite would append to a
+``.repro-ledger.sqlite`` in the checkout.  Point it at a per-test
+temporary file instead — tests that exercise the ledger explicitly
+pass ``--ledger`` and are unaffected.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _ledger_in_tmp(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_LEDGER", str(tmp_path / "test-ledger.sqlite"))

@@ -1,0 +1,109 @@
+"""Structured JSON logging: records, run ids, warn_event contract."""
+
+import io
+import json
+import logging
+import warnings
+
+import pytest
+
+from repro.obs import log as obslog
+
+
+@pytest.fixture()
+def capture():
+    """Attach a JSON handler to an in-memory stream; detach afterwards."""
+    stream = io.StringIO()
+    handler = obslog.configure(stream, run="testrun12345")
+    yield stream
+    obslog.unconfigure(handler)
+    obslog.set_run_id(None)
+
+
+def _records(stream):
+    return [json.loads(line)
+            for line in stream.getvalue().splitlines() if line]
+
+
+def test_event_emits_one_json_record(capture):
+    obslog.event("engine.start", "starting", queries=3)
+    records = _records(capture)
+    assert len(records) == 1
+    rec = records[0]
+    assert rec["event"] == "engine.start"
+    assert rec["message"] == "starting"
+    assert rec["queries"] == 3
+    assert rec["level"] == "info"
+    assert rec["run_id"] == "testrun12345"
+    assert isinstance(rec["ts"], float)
+
+
+def test_run_id_correlates_all_records(capture):
+    obslog.event("a")
+    obslog.event("b")
+    assert {r["run_id"] for r in _records(capture)} == {"testrun12345"}
+
+
+def test_set_run_id_round_trip():
+    obslog.set_run_id("zzz")
+    assert obslog.run_id() == "zzz"
+    obslog.set_run_id(None)
+    assert obslog.run_id() is None
+
+
+def test_new_run_ids_are_short_and_unique():
+    a, b = obslog.new_run_id(), obslog.new_run_id()
+    assert a != b
+    assert len(a) == 12
+    int(a, 16)  # hex
+
+
+def test_warn_event_logs_and_still_warns(capture):
+    with pytest.warns(RuntimeWarning, match="pool failed"):
+        obslog.warn_event("engine.pool_fallback", "pool failed",
+                          groups=4)
+    records = _records(capture)
+    assert records[0]["event"] == "engine.pool_fallback"
+    assert records[0]["level"] == "warning"
+    assert records[0]["groups"] == 4
+
+
+def test_non_serializable_fields_degrade_to_repr(capture):
+    obslog.event("x", thing=object())
+    rec = _records(capture)[0]
+    assert rec["thing"].startswith("<object object")
+
+
+def test_silent_without_configure(capsys):
+    # NullHandler only: no output, no "no handler" complaints.
+    obslog.event("quiet.event")
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        obslog.warn_event("quiet.warn", "still warns")
+    captured = capsys.readouterr()
+    assert captured.out == ""
+    assert "quiet" not in captured.err
+
+
+def test_configure_to_file(tmp_path):
+    target = tmp_path / "log.jsonl"
+    handler = obslog.configure(str(target), run="fileRun123ab")
+    try:
+        obslog.event("file.event", n=1)
+    finally:
+        obslog.unconfigure(handler)
+        obslog.set_run_id(None)
+    rec = json.loads(target.read_text().splitlines()[0])
+    assert rec["event"] == "file.event"
+    assert rec["run_id"] == "fileRun123ab"
+
+
+def test_formatter_handles_exception_info(capture):
+    logger = obslog.get_logger()
+    try:
+        raise ValueError("boom")
+    except ValueError:
+        logger.warning("caught", exc_info=True,
+                       extra={"event": "err.caught"})
+    rec = _records(capture)[0]
+    assert rec["exception"] == "ValueError"

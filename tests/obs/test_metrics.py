@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.obs import MetricsRegistry, NULL_REGISTRY
+from repro.obs import DEFAULT_BUCKETS, Histogram, MetricsRegistry, \
+    NULL_REGISTRY
 
 
 def test_counter_accumulates_and_rejects_negatives():
@@ -86,6 +87,121 @@ def test_merge_into_empty_registry():
     dst = MetricsRegistry()
     dst.merge(src.snapshot())
     assert dst.counter("c", module="x").value == 2
+
+
+class TestHistogramBuckets:
+    def test_observations_land_in_expected_buckets(self):
+        h = Histogram(bounds=(1.0, 2.0, 5.0))
+        for v in (0.5, 1.0, 1.5, 3.0, 100.0):
+            h.observe(v)
+        # le semantics: 1.0 counts in the <=1.0 bucket; 100 overflows.
+        assert h.buckets == [2, 1, 1, 1]
+        assert h.cumulative_buckets() == [
+            (1.0, 2), (2.0, 3), (5.0, 4), (float("inf"), 5)]
+
+    def test_inf_bucket_equals_count(self):
+        h = Histogram()
+        for v in (0.0001, 0.3, 7.0, 1000.0):
+            h.observe(v)
+        assert h.cumulative_buckets()[-1][1] == h.count == 4
+
+    def test_default_bounds_strictly_increasing(self):
+        assert list(DEFAULT_BUCKETS) == sorted(set(DEFAULT_BUCKETS))
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(bounds=(1.0, 1.0))
+
+    def test_moments_stay_exact(self):
+        h = Histogram(bounds=(1.0,))
+        for v in (0.5, 4.0):
+            h.observe(v)
+        assert (h.count, h.total, h.min, h.max) == (2, 4.5, 0.5, 4.0)
+
+
+class TestHistogramQuantiles:
+    def test_quantiles_interpolate_within_bucket(self):
+        h = Histogram(bounds=(10.0, 20.0, 30.0))
+        for v in (2.0, 4.0, 6.0, 8.0):
+            h.observe(v)
+        # All 4 in the first bucket: p50 interpolates to bucket middle,
+        # clamped inside [min, max].
+        assert h.quantile(0.5) == pytest.approx(5.0)
+        assert h.min <= h.quantile(0.95) <= h.max
+
+    def test_quantiles_clamped_to_observed_range(self):
+        h = Histogram(bounds=(100.0,))
+        h.observe(40.0)
+        assert h.quantile(0.0) == 40.0
+        assert h.quantile(1.0) == 40.0
+
+    def test_overflow_bucket_returns_max(self):
+        h = Histogram(bounds=(1.0,))
+        h.observe(50.0)
+        assert h.quantile(0.99) == 50.0
+
+    def test_empty_histogram_is_zero(self):
+        assert Histogram().quantile(0.5) == 0.0
+
+    def test_out_of_range_q_rejected(self):
+        h = Histogram()
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+
+class TestHistogramMerge:
+    def test_matching_bounds_merge_exactly(self):
+        a = Histogram(bounds=(1.0, 2.0))
+        b = Histogram(bounds=(1.0, 2.0))
+        a.observe(0.5)
+        b.observe(1.5)
+        b.observe(9.0)
+        a.merge(b.snapshot())
+        assert a.buckets == [1, 1, 1]
+        assert (a.count, a.total) == (3, 11.0)
+        assert (a.min, a.max) == (0.5, 9.0)
+
+    def test_mismatched_bounds_fold_into_overflow(self):
+        a = Histogram(bounds=(1.0, 2.0))
+        b = Histogram(bounds=(5.0,))
+        a.observe(0.5)
+        b.observe(0.1)
+        b.observe(0.2)
+        a.merge(b.snapshot())
+        # Moments exact; foreign counts parked in +Inf.
+        assert a.count == 3
+        assert a.total == pytest.approx(0.8)
+        assert a.buckets == [1, 0, 2]
+        assert a.cumulative_buckets()[-1][1] == a.count
+
+    def test_moment_only_snapshot_folds_into_overflow(self):
+        a = Histogram(bounds=(1.0,))
+        a.observe(0.5)
+        a.merge({"count": 2, "sum": 3.0, "min": 1.0, "max": 2.0})
+        assert a.count == 3
+        assert a.buckets == [1, 2]
+
+    def test_snapshot_carries_bounds_and_buckets(self):
+        h = Histogram(bounds=(1.0,))
+        h.observe(0.5)
+        snap = h.snapshot()
+        assert snap["bounds"] == [1.0]
+        assert snap["buckets"] == [1, 0]
+        assert snap["count"] == 1
+
+    def test_registry_merge_round_trip_unchanged(self):
+        # The pre-existing worker-merge contract from test_merge_combines
+        # must hold bucket-wise too.
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.histogram("t").observe(1.0)
+        b.histogram("t").observe(3.0)
+        a.merge(b.snapshot())
+        h = a.histogram("t")
+        assert h.cumulative_buckets()[-1][1] == h.count == 2
 
 
 def test_null_registry_is_inert():

@@ -1,0 +1,109 @@
+"""Prometheus text exposition: rendering, strict parsing, round-trip."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.promexport import (
+    parse_exposition,
+    to_prometheus,
+    write_prometheus,
+)
+
+
+def _registry():
+    reg = MetricsRegistry()
+    reg.counter("sat.conflicts").inc(32)
+    reg.counter("cnf.vars", module="network").inc(100)
+    reg.counter("cnf.vars", module="property").inc(5)
+    reg.gauge("sat.learned").set(24)
+    h = reg.histogram("sat.solve_seconds")
+    for v in (0.002, 0.02, 0.2):
+        h.observe(v)
+    return reg
+
+
+def test_text_structure():
+    text = to_prometheus(_registry())
+    assert "# TYPE sat_conflicts_total counter" in text
+    assert "sat_conflicts_total 32" in text
+    assert "# TYPE sat_learned gauge" in text
+    assert 'cnf_vars_total{module="network"} 100' in text
+    assert "# TYPE sat_solve_seconds histogram" in text
+    assert 'sat_solve_seconds_bucket{le="+Inf"} 3' in text
+    assert "sat_solve_seconds_count 3" in text
+    # One TYPE header per family even with several label sets.
+    assert text.count("# TYPE cnf_vars_total") == 1
+
+
+def test_parse_round_trip():
+    samples = parse_exposition(to_prometheus(_registry()))
+    assert samples["sat_conflicts_total"][0]["value"] == 32
+    by_module = {s["labels"]["module"]: s["value"]
+                 for s in samples["cnf_vars_total"]}
+    assert by_module == {"network": 100, "property": 5}
+    hist = samples["sat_solve_seconds"]
+    count = [s for s in hist if s["name"].endswith("_count")][0]
+    inf_bucket = [s for s in hist if s["labels"].get("le") == "+Inf"][0]
+    assert count["value"] == inf_bucket["value"] == 3
+
+
+def test_histogram_buckets_cumulative():
+    samples = parse_exposition(to_prometheus(_registry()))
+    buckets = [(s["labels"]["le"], s["value"])
+               for s in samples["sat_solve_seconds"]
+               if s["name"].endswith("_bucket")]
+    values = [v for _, v in buckets]
+    assert values == sorted(values)  # cumulative never decreases
+
+
+def test_accepts_snapshot_dict_and_writes_file(tmp_path):
+    reg = _registry()
+    assert to_prometheus(reg.snapshot()) == to_prometheus(reg)
+    out = tmp_path / "metrics.prom"
+    write_prometheus(reg, str(out))
+    assert parse_exposition(out.read_text())
+
+
+def test_name_sanitization():
+    reg = MetricsRegistry()
+    reg.counter("weird.name-with spaces!").inc(1)
+    text = to_prometheus(reg)
+    assert "weird_name_with_spaces__total 1" in text
+    parse_exposition(text)  # must still be valid
+
+
+def test_label_value_escaping():
+    reg = MetricsRegistry()
+    reg.counter("c", path='a"b\\c').inc(1)
+    text = to_prometheus(reg)
+    samples = parse_exposition(text)
+    assert samples["c_total"][0]["labels"]["path"] == 'a\\"b\\\\c'
+
+
+def test_empty_registry_renders_empty():
+    assert to_prometheus(MetricsRegistry()) == ""
+    assert parse_exposition("") == {}
+
+
+class TestStrictParser:
+    def test_rejects_malformed_sample(self):
+        with pytest.raises(ValueError, match="bad value"):
+            parse_exposition("# TYPE x counter\nx one_two_three\n")
+        with pytest.raises(ValueError, match="malformed"):
+            parse_exposition("# TYPE x counter\n{no=name} 1\n")
+
+    def test_rejects_sample_before_type(self):
+        with pytest.raises(ValueError, match="precedes"):
+            parse_exposition("orphan_metric 3\n")
+
+    def test_rejects_inconsistent_histogram(self):
+        text = ("# TYPE h histogram\n"
+                'h_bucket{le="+Inf"} 5\n'
+                "h_sum 1.0\n"
+                "h_count 3\n")
+        with pytest.raises(ValueError, match="_count"):
+            parse_exposition(text)
+
+    def test_rejects_malformed_type_line(self):
+        with pytest.raises(ValueError, match="TYPE"):
+            parse_exposition("# TYPE x sideways\n")

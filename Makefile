@@ -1,5 +1,5 @@
 .PHONY: install test bench tables tables-full examples check clean \
-	analyze lint
+	analyze lint serve-smoke
 
 # Dev extras pull in pytest-benchmark (which `make bench` needs) and
 # ruff, so a fresh clone gets a working toolchain from one command.
@@ -39,6 +39,13 @@ check: lint analyze
 	PYTHONPATH=src:. python benchmarks/run_preprocess_smoke.py --pods 2
 	PYTHONPATH=src:. python benchmarks/run_satcore_smoke.py --pods 2
 	PYTHONPATH=src:. python benchmarks/run_diff_smoke.py --pods 2
+	PYTHONPATH=src:. python benchmarks/run_serve_smoke.py --pods 2
+
+# The serve-daemon smoke on its own (also part of `make check`): boots
+# `repro serve` and drives the full lifecycle over HTTP at the same
+# --pods 2 scale as the committed BENCH_serve.json baseline.
+serve-smoke:
+	PYTHONPATH=src:. python benchmarks/run_serve_smoke.py --pods 2
 
 # Regenerate every table/figure of the paper's evaluation (quick subset).
 tables:

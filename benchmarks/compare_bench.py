@@ -33,7 +33,15 @@ from typing import Optional
 ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 BASELINE_DIR = os.path.join(ROOT, "benchmarks", "baselines")
 OUT_DIR = os.path.join(ROOT, "benchmarks", "out")
-BENCHES = ("batch", "obs", "preprocess", "satcore", "diff", "analysis")
+BENCHES = (
+    "batch",
+    "obs",
+    "preprocess",
+    "satcore",
+    "diff",
+    "analysis",
+    "serve",
+)
 
 
 @dataclass
@@ -126,6 +134,26 @@ GATES = [
     Gate("analysis", "cold_clauses_pruned", True),
     Gate("analysis", "xdf_findings", True, floor=1.0),
     Gate("analysis", "seconds", False, rel_tol=1.0, hard=False),
+    # Verification-as-a-service: every correctness metric is exact for
+    # the fixed workload — verdict identity between daemon paths (cold,
+    # verdict-replay warm, encoding-warm, post-refresh, tiny-budget)
+    # and fresh in-process solves, the exact differential re-solve set
+    # after a refresh, cache-hit/eviction evidence, and strict
+    # exposition parsing.  The warm-vs-cold latency ratio is the usual
+    # warn-only timing gate.
+    Gate("serve", "cold_verdict_match", True, floor=1.0),
+    Gate("serve", "warm_verdict_match", True, floor=1.0),
+    Gate("serve", "warm_replayed", True, floor=1.0),
+    Gate("serve", "encoding_hit_on_warm", True, floor=1.0),
+    Gate("serve", "warm_encode_skipped", True, floor=1.0),
+    Gate("serve", "encoding_warm_verdict_match", True, floor=1.0),
+    Gate("serve", "refresh_changed_exact", True, floor=1.0),
+    Gate("serve", "refresh_replay_exact", True, floor=1.0),
+    Gate("serve", "refresh_verdict_match", True, floor=1.0),
+    Gate("serve", "eviction_exercised", True, floor=1.0),
+    Gate("serve", "tiny_budget_verdict_match", True, floor=1.0),
+    Gate("serve", "metrics_parse", True, floor=1.0),
+    Gate("serve", "warm_speedup", True, rel_tol=0.65, floor=2.0, hard=False),
 ]
 
 # Exact command to regenerate a bench at the baseline configuration —
@@ -146,6 +174,9 @@ RERUN = {
         "PYTHONPATH=src:. python benchmarks/run_diff_smoke.py --pods {pods}"
     ),
     "analysis": "PYTHONPATH=src:. python benchmarks/run_analysis_smoke.py",
+    "serve": (
+        "PYTHONPATH=src:. python benchmarks/run_serve_smoke.py --pods {pods}"
+    ),
 }
 
 
@@ -162,9 +193,9 @@ def _baseline_path(bench: str) -> str:
     return os.path.join(BASELINE_DIR, f"BENCH_{bench}.json")
 
 
-def update() -> int:
+def update(benches=BENCHES) -> int:
     os.makedirs(BASELINE_DIR, exist_ok=True)
-    for bench in BENCHES:
+    for bench in benches:
         fresh = _fresh_path(bench)
         if not os.path.exists(fresh):
             print(
@@ -177,12 +208,14 @@ def update() -> int:
     return 0
 
 
-def compare() -> int:
+def compare(benches=BENCHES) -> int:
     failures = 0
     warnings = 0
     mismatched = set()
     rows = []
     for gate in GATES:
+        if gate.bench not in benches:
+            continue
         fresh_doc = _load(_fresh_path(gate.bench))
         base_doc = _load(_baseline_path(gate.bench))
         if fresh_doc.get("pods") != base_doc.get("pods"):
@@ -246,8 +279,23 @@ def main(argv=None) -> int:
         action="store_true",
         help="copy fresh BENCH_*.json over the committed baselines",
     )
+    parser.add_argument(
+        "--benches",
+        default=None,
+        metavar="A,B",
+        help="only gate (or rebaseline) these benches — lets split CI "
+        "jobs each compare the BENCH files they actually produced "
+        f"(default: all of {','.join(BENCHES)})",
+    )
     args = parser.parse_args(argv)
-    return update() if args.update else compare()
+    if args.benches is None:
+        benches = BENCHES
+    else:
+        benches = tuple(b.strip() for b in args.benches.split(",") if b)
+        unknown = [b for b in benches if b not in BENCHES]
+        if unknown:
+            parser.error(f"unknown bench(es): {', '.join(unknown)}")
+    return update(benches) if args.update else compare(benches)
 
 
 if __name__ == "__main__":

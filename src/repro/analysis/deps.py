@@ -114,6 +114,7 @@ __all__ = [
     "cache_key",
     "device_hash",
     "network_facts",
+    "options_digest",
     "options_fingerprint",
     "query_cone",
     "query_id",
@@ -567,6 +568,14 @@ def options_fingerprint(options) -> str:
         name: getattr(options, name) for name in _SEMANTIC_OPTION_FIELDS
     }
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def options_digest(options) -> str:
+    """Short hex digest of :func:`options_fingerprint`, for composed
+    cache keys (the encoding cache scopes keys by it) and snapshot
+    metadata where the raw JSON fingerprint would be unwieldy."""
+    fingerprint = options_fingerprint(options)
+    return hashlib.sha256(fingerprint.encode()).hexdigest()[:12]
 
 
 def cache_key(

@@ -198,6 +198,33 @@ def _build_parser() -> argparse.ArgumentParser:
                            "fails instead of warning (noisy runners "
                            "beware)")
     hcmp.add_argument("--json", action="store_true")
+
+    serve = sub.add_parser(
+        "serve",
+        help="verification-as-a-service HTTP daemon: tenant snapshot "
+             "store plus a cross-request encoding cache (warm queries "
+             "skip parse/build/encode); see docs/SERVING.md")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8750,
+                       help="listen port (0 picks a free one; the bound "
+                            "address is printed on startup)")
+    serve.add_argument("--state-dir", default=None, metavar="DIR",
+                       help="persist snapshots (configs, metadata, "
+                            "verdict caches) here and reload them on "
+                            "restart; omit for a memory-only daemon")
+    serve.add_argument("--cache-bytes", type=int,
+                       default=256 * 1024 * 1024, metavar="N",
+                       help="byte budget of the shared network/encoding "
+                            "cache (default 256 MiB)")
+    serve.add_argument("--cache-ttl", type=float, default=3600.0,
+                       metavar="SECONDS",
+                       help="evict cache entries idle this long "
+                            "(default 3600)")
+    serve.add_argument("--no-preprocess", action="store_true",
+                       help="disable SAT-level CNF preprocessing")
+    serve.add_argument("--log-json", default=None, metavar="FILE",
+                       help="structured JSON logs ('-' for stderr)")
+    _add_ledger_flags(serve)
     return parser
 
 
@@ -358,38 +385,18 @@ def _stats_line(result) -> str:
 
 
 def _property_from_spec(kind: str, spec: dict) -> P.Property:
-    """Build a property from a flat spec dict (CLI flags or JSON entry)."""
-    sources = spec.get("sources")
-    dest_prefix = spec.get("dest_prefix")
-    dest_peer = spec.get("dest_peer")
-    if kind == "reachability":
-        return P.Reachability(
-            sources=sources or "all",
-            dest_prefix_text=dest_prefix, dest_peer=dest_peer)
-    if kind == "isolation":
-        return P.Isolation(
-            sources=sources or [],
-            dest_prefix_text=dest_prefix, dest_peer=dest_peer)
-    if kind == "blackholes":
-        return P.NoBlackHoles(allowed=spec.get("allowed", ()),
-                              dest_prefix_text=dest_prefix)
-    if kind == "loops":
-        return P.NoForwardingLoops(dest_prefix_text=dest_prefix)
-    if kind == "bounded-length":
-        return P.BoundedPathLength(
-            sources=sources or "all", bound=spec.get("bound", 4),
-            dest_prefix_text=dest_prefix, dest_peer=dest_peer)
-    if kind == "waypoint":
-        sources = sources or []
-        if len(sources) != 1:
-            raise SystemExit("waypoint needs exactly one sources router")
-        return P.Waypointing(
-            source=sources[0], waypoints=spec.get("waypoints", []),
-            dest_prefix_text=dest_prefix, dest_peer=dest_peer)
-    if kind == "prefix-leak":
-        return P.NoPrefixLeak(max_length=spec.get("max_leak_length", 24),
-                              dest_prefix_text=dest_prefix)
-    raise SystemExit(f"unknown property {kind}")
+    """Build a property from a flat spec dict (CLI flags or JSON entry).
+
+    The one definition lives in :mod:`repro.serve.schemas` (the serve
+    API accepts the same spec shape); here its 400s become the CLI's
+    ``SystemExit`` messages.
+    """
+    from repro.serve.schemas import ApiError, property_from_spec
+
+    try:
+        return property_from_spec(kind, spec)
+    except ApiError as exc:
+        raise SystemExit(exc.message) from exc
 
 
 def _make_property(args) -> P.Property:
@@ -816,6 +823,41 @@ def _cmd_simulate(args) -> int:
     return 0 if all(t.delivered for t in traces) else 1
 
 
+def _cmd_serve(args) -> int:
+    from repro.obs import ledger as ledgerlib, log as loglib
+    from repro.serve import SnapshotRegistry, TTLLRUCache, make_server
+
+    log_handler = None
+    if args.log_json:
+        log_handler = loglib.configure(args.log_json)
+    options = EncoderOptions(preprocess=not args.no_preprocess)
+    cache = TTLLRUCache(max_bytes=args.cache_bytes,
+                        ttl_seconds=args.cache_ttl)
+    registry = SnapshotRegistry(cache=cache, options=options,
+                                state_dir=args.state_dir)
+    ledger_path = (None if args.no_ledger
+                   else args.ledger or ledgerlib.default_ledger_path())
+    server = make_server(args.host, args.port, registry,
+                         ledger_path=ledger_path)
+    host, port = server.server_address[:2]
+    # Parseable startup line: smoke harnesses bind --port 0 and read
+    # the chosen port from here.
+    print(f"repro serve listening on http://{host}:{port}", flush=True)
+    loglib.event("serve.start", host=host, port=port,
+                 state_dir=args.state_dir or "",
+                 snapshots=len(registry))
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        loglib.event("serve.stop", host=host, port=port)
+        if log_handler is not None:
+            loglib.unconfigure(log_handler)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -828,6 +870,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "simulate": _cmd_simulate,
         "stats": _cmd_stats,
         "history": _cmd_history,
+        "serve": _cmd_serve,
     }
     try:
         return handlers[args.command](args)

@@ -36,6 +36,7 @@ a solver; they are routed through ``Verifier.verify`` individually.
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -55,7 +56,7 @@ from .verifier import (
     effective_max_failures,
 )
 
-__all__ = ["BatchQuery", "BatchEngine", "verify_batch"]
+__all__ = ["BatchQuery", "BatchEngine", "GroupEncoding", "verify_batch"]
 
 
 @dataclass(frozen=True)
@@ -83,6 +84,114 @@ class BatchQuery:
 _GroupKey = Tuple[Optional[Tuple[int, int]], int]
 
 
+class GroupEncoding:
+    """The shared, reusable state of one query group: the encoded
+    network plus an incremental solver loaded with its constraints.
+
+    This is the expensive artifact batch verification amortizes — and
+    the unit a long-lived service (``repro serve``) caches across
+    requests.  Because property instrumentation is always asserted
+    behind a fresh activation literal (see the module docstring),
+    instrumentation from earlier queries is inert for later ones: a
+    ``GroupEncoding`` can discharge any number of queries, in any
+    order, across any number of requests, and every answer is
+    identical to a fresh per-query solve.
+
+    Thread safety: the CDCL solver is single-threaded state, so
+    :meth:`solve_one` serializes on an internal lock — concurrent
+    requests against one cached encoding queue up rather than corrupt
+    the solver.
+    """
+
+    def __init__(self, network: Network, options: EncoderOptions,
+                 conflict_budget: Optional[int] = None,
+                 dst_prefix: Optional[Tuple[int, int]] = None,
+                 tracer=None) -> None:
+        tracer = tracer if tracer is not None else obs.active()
+        self.network = network
+        self.options = options
+        self.dst_prefix = dst_prefix
+        self.lock = threading.Lock()
+        #: queries discharged over the lifetime of this encoding (grows
+        #: across requests when the encoding is cached and reused)
+        self.queries_discharged = 0
+        with tracer.span("verify.encode", shared=True) as sp:
+            encoder = NetworkEncoder(network, options)
+            self.enc = encoder.encode(dst_prefix=dst_prefix)
+            self.solver = Solver(conflict_budget=conflict_budget,
+                                 preprocess=options.preprocess,
+                                 portfolio=options.portfolio)
+            self.solver.add(*self.enc.constraints, label="network")
+            self.base_mark = self.enc.checkpoint()
+        #: one-time cost of building this encoding (the cost a warm
+        #: cache hit skips entirely)
+        self.encode_seconds = sp.duration
+
+    def cache_size(self) -> int:
+        """Byte-size estimate for cache budgeting.
+
+        Exact deep sizes of term graphs are unaffordable to compute;
+        this estimate is linear in the CNF footprint (the dominant
+        allocation) and only needs to be monotone for LRU budgeting to
+        be meaningful.
+        """
+        return (4096 + 48 * self.solver.num_variables
+                + 96 * self.solver.num_clauses)
+
+    def solve_one(self, query: "BatchQuery", tracer=None,
+                  shared_share: float = 0.0) -> VerificationResult:
+        """Discharge one query against the shared solver.
+
+        ``shared_share`` is the slice of the one-time encoding cost
+        attributed to this query's stats (0.0 when the encoding was
+        reused from a cache — the query then paid no encode cost).
+        """
+        tracer = tracer if tracer is not None else obs.active()
+        enc, solver = self.enc, self.solver
+        with self.lock:
+            self.queries_discharged += 1
+            qspan = tracer.span("batch.query", query=query.name())
+            with qspan:
+                with tracer.span("verify.property",
+                                 property=query.name()) as sp_query:
+                    prop_term = query.prop.encode(enc)
+                    instrumentation = enc.constraints_since(self.base_mark)
+                    enc.rollback(self.base_mark)
+                    act = enc.fresh_bool("batch.act")
+                    solver.add(*[implies(act, c) for c in instrumentation],
+                               label="instrumentation")
+                    assumptions = [act, not_(prop_term)]
+                    for assumption in query.assumptions:
+                        assumptions.append(assumption(enc))
+                with tracer.span("verify.solve") as sp_solve:
+                    outcome = solver.check(assumptions=assumptions)
+                if outcome is not UNSAT and outcome is not UNKNOWN:
+                    with tracer.span("verify.model"):
+                        model = solver.model()
+                        counterexample = extract_counterexample(enc, model)
+                        message = query.prop.describe_violation(enc, model)
+            stats = dict(
+                seconds=shared_share + qspan.duration,
+                num_variables=solver.num_variables,
+                num_clauses=solver.num_clauses,
+                encode_seconds=shared_share + sp_query.duration,
+                encode_shared_seconds=shared_share,
+                encode_query_seconds=sp_query.duration,
+                solve_seconds=sp_solve.duration,
+                conflicts=solver.last_check_conflicts)
+            if outcome is UNSAT:
+                return VerificationResult(property_name=query.name(),
+                                          holds=True, **stats)
+            if outcome is UNKNOWN:
+                return VerificationResult(
+                    property_name=query.name(), holds=None,
+                    message=_budget_message(solver), **stats)
+            return VerificationResult(
+                property_name=query.name(), holds=False,
+                counterexample=counterexample, message=message,
+                **stats)
+
+
 class BatchEngine:
     """Plans and executes a batch of verification queries."""
 
@@ -90,7 +199,9 @@ class BatchEngine:
                  options: Optional[EncoderOptions] = None,
                  conflict_budget: Optional[int] = None,
                  workers: int = 1,
-                 verdict_cache=None) -> None:
+                 verdict_cache=None,
+                 encoding_cache=None,
+                 encoding_scope: str = "") -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.network = network
@@ -102,12 +213,28 @@ class BatchEngine:
         # with ``cached=True``; see repro.analysis.deps for the
         # soundness argument behind the keys.
         self.verdict_cache = verdict_cache
+        # Cross-run reuse of whole group encodings: an object with
+        # ``get(key)`` / ``put(key, value, size_bytes)`` (e.g.
+        # ``repro.serve.TTLLRUCache``) holding :class:`GroupEncoding`
+        # instances.  ``encoding_scope`` namespaces the keys (the
+        # service uses ``{tenant}/{snapshot}/``) so unrelated networks
+        # never collide.  Solvers cannot cross process boundaries, so
+        # the cache is consulted only on the serial path; with
+        # ``workers > 1`` it is ignored.
+        self.encoding_cache = encoding_cache
+        self.encoding_scope = encoding_scope
+        #: per-run encoding-cache outcome, ``{"hits": n, "misses": m}``
+        #: (reset by :meth:`run`) — lets a serving layer report whether
+        #: a request skipped parse/build/encode without scraping the
+        #: process-wide metrics
+        self.last_encoding_stats = {"hits": 0, "misses": 0}
 
     # ------------------------------------------------------------------
 
     def run(self, queries: Sequence) -> List[VerificationResult]:
         """Execute all queries; results are returned in query order."""
         tracer = obs.active()
+        self.last_encoding_stats = {"hits": 0, "misses": 0}
         with tracer.span("batch.run", queries=len(queries),
                          workers=self.workers) as root:
             batch = [q if isinstance(q, BatchQuery) else BatchQuery(prop=q)
@@ -146,7 +273,8 @@ class BatchEngine:
             metrics.counter("batch.queries").inc(len(batch))
             metrics.counter("batch.groups").inc(len(groups))
 
-            if self.workers > 1 and len(groups) > 1:
+            if (self.workers > 1 and len(groups) > 1
+                    and self.encoding_cache is None):
                 done = self._run_parallel(groups, results)
             else:
                 done = False
@@ -208,12 +336,46 @@ class BatchEngine:
             options = replace(options, max_failures=k)
         return options
 
+    def encoding_cache_key(self, key: _GroupKey) -> str:
+        """The scoped cache key of one group's encoding:
+        ``{scope}enc/{dst-prefix}/k{failures}/{options-digest}``."""
+        from repro.analysis.deps import options_digest
+
+        dst, k = key
+        prefix = iplib.format_prefix(*dst) if dst else "any"
+        digest = options_digest(self._group_options(key))
+        return f"{self.encoding_scope}enc/{prefix}/k{k}/{digest}"
+
+    def _cached_group(self, key: _GroupKey
+                      ) -> Tuple[GroupEncoding, bool]:
+        """Fetch (or build and insert) the group's encoding via the
+        encoding cache.  Returns ``(group, reused)``: a reused group
+        already paid its encode cost in some earlier run, so stats for
+        this run's queries attribute zero shared encoding time."""
+        ckey = self.encoding_cache_key(key)
+        group = self.encoding_cache.get(ckey)
+        metrics = obs.metrics()
+        if group is not None:
+            self.last_encoding_stats["hits"] += 1
+            metrics.counter("engine.encoding_cache_hit").inc()
+            return group, True
+        self.last_encoding_stats["misses"] += 1
+        metrics.counter("engine.encoding_cache_miss").inc()
+        group = GroupEncoding(self.network, self._group_options(key),
+                              self.conflict_budget, key[0])
+        self.encoding_cache.put(ckey, group, group.cache_size())
+        return group, False
+
     def _run_group(self, key: _GroupKey,
                    members: List[Tuple[int, BatchQuery]],
                    ) -> Tuple[List[Tuple[int, VerificationResult]],
                               Optional[Dict]]:
+        group, reused = None, False
+        if self.encoding_cache is not None:
+            group, reused = self._cached_group(key)
         return _solve_group(self.network, self._group_options(key),
-                            self.conflict_budget, key[0], members)
+                            self.conflict_budget, key[0], members,
+                            group=group, group_reused=reused)
 
     def _run_parallel(self, groups, results) -> bool:
         """Run groups in a process pool.  Returns False (leaving
@@ -269,16 +431,19 @@ def _solve_group(network: Network, options: EncoderOptions,
                  members: List[Tuple[int, BatchQuery]],
                  collect_trace: bool = False,
                  run_id: Optional[str] = None,
+                 group: Optional[GroupEncoding] = None,
+                 group_reused: bool = False,
                  ) -> Tuple[List[Tuple[int, VerificationResult]],
                             Optional[Dict]]:
     """Encode the network once and discharge every query of the group.
 
-    Module-level so it can be pickled to process-pool workers.  Returns
-    the per-query results plus — with ``collect_trace`` (the
-    process-pool path under an enabled tracer) — the worker-side span
-    buffer for the parent to merge at join time.  ``run_id`` carries the
-    parent's log correlation id across the process boundary so worker
-    log records join the same run.
+    Module-level so it can be pickled to process-pool workers (the
+    pool path never ships ``group`` — a live solver cannot cross a
+    process boundary).  Returns the per-query results plus — with
+    ``collect_trace`` (the process-pool path under an enabled tracer) —
+    the worker-side span buffer for the parent to merge at join time.
+    ``run_id`` carries the parent's log correlation id across the
+    process boundary so worker log records join the same run.
     """
     if run_id is not None:
         obslog.set_run_id(run_id)
@@ -296,76 +461,38 @@ def _solve_group(network: Network, options: EncoderOptions,
         # come from spans, traced or not.
         tracer = obs.Tracer(lane=lane)
     return (_solve_group_traced(tracer, network, options, conflict_budget,
-                                dst_prefix, members), None)
+                                dst_prefix, members, group=group,
+                                group_reused=group_reused), None)
 
 
 def _solve_group_traced(tracer, network: Network, options: EncoderOptions,
                         conflict_budget: Optional[int],
                         dst_prefix: Optional[Tuple[int, int]],
                         members: List[Tuple[int, BatchQuery]],
+                        group: Optional[GroupEncoding] = None,
+                        group_reused: bool = False,
                         ) -> List[Tuple[int, VerificationResult]]:
     group_span = tracer.span("batch.group", queries=len(members),
                              max_failures=options.max_failures,
+                             reused=group_reused,
                              dst_prefix=_group_lane(dst_prefix,
                                                     options.max_failures))
     out: List[Tuple[int, VerificationResult]] = []
     with group_span:
-        with tracer.span("verify.encode", shared=True) as sp_shared:
-            encoder = NetworkEncoder(network, options)
-            enc = encoder.encode(dst_prefix=dst_prefix)
-            solver = Solver(conflict_budget=conflict_budget,
-                            preprocess=options.preprocess,
-                            portfolio=options.portfolio)
-            solver.add(*enc.constraints, label="network")
-            base_mark = enc.checkpoint()
+        if group is None:
+            group = GroupEncoding(network, options, conflict_budget,
+                                  dst_prefix, tracer=tracer)
         # The one-time shared encoding is amortized evenly; each result
         # carries its share in ``encode_shared_seconds`` so batch totals
-        # sum to real wall time without double-counting.
-        shared_share = sp_shared.duration / len(members)
-
+        # sum to real wall time without double-counting.  A reused
+        # (cache-hit) encoding paid nothing this run: its queries carry
+        # a zero share, which is exactly the parse/build/encode work
+        # the warm path skipped.
+        shared_share = (0.0 if group_reused
+                        else group.encode_seconds / len(members))
         for index, query in members:
-            qspan = tracer.span("batch.query", query=query.name())
-            with qspan:
-                with tracer.span("verify.property",
-                                 property=query.name()) as sp_query:
-                    prop_term = query.prop.encode(enc)
-                    instrumentation = enc.constraints_since(base_mark)
-                    enc.rollback(base_mark)
-                    act = enc.fresh_bool("batch.act")
-                    solver.add(*[implies(act, c) for c in instrumentation],
-                               label="instrumentation")
-                    assumptions = [act, not_(prop_term)]
-                    for assumption in query.assumptions:
-                        assumptions.append(assumption(enc))
-                with tracer.span("verify.solve") as sp_solve:
-                    outcome = solver.check(assumptions=assumptions)
-                if outcome is not UNSAT and outcome is not UNKNOWN:
-                    with tracer.span("verify.model"):
-                        model = solver.model()
-                        counterexample = extract_counterexample(enc, model)
-                        message = query.prop.describe_violation(enc, model)
-            stats = dict(
-                seconds=shared_share + qspan.duration,
-                num_variables=solver.num_variables,
-                num_clauses=solver.num_clauses,
-                encode_seconds=shared_share + sp_query.duration,
-                encode_shared_seconds=shared_share,
-                encode_query_seconds=sp_query.duration,
-                solve_seconds=sp_solve.duration,
-                conflicts=solver.last_check_conflicts)
-            if outcome is UNSAT:
-                result = VerificationResult(property_name=query.name(),
-                                            holds=True, **stats)
-            elif outcome is UNKNOWN:
-                result = VerificationResult(
-                    property_name=query.name(), holds=None,
-                    message=_budget_message(solver), **stats)
-            else:
-                result = VerificationResult(
-                    property_name=query.name(), holds=False,
-                    counterexample=counterexample, message=message,
-                    **stats)
-            out.append((index, result))
+            out.append((index, group.solve_one(query, tracer=tracer,
+                                               shared_share=shared_share)))
     return out
 
 

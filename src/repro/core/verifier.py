@@ -165,6 +165,9 @@ class Verifier:
         self.options = options or EncoderOptions()
         self.conflict_budget = conflict_budget
         self.preflight_report = None
+        #: Encoding-cache hits/misses of the most recent
+        #: :meth:`verify_batch` call (mirrors the engine's counters).
+        self.last_encoding_stats = {"hits": 0, "misses": 0}
         if preflight or strict:
             self.preflight_report = self._preflight(strict)
 
@@ -267,7 +270,9 @@ class Verifier:
 
     def verify_batch(self, queries: Sequence,
                      workers: int = 1,
-                     verdict_cache=None) -> List[VerificationResult]:
+                     verdict_cache=None,
+                     encoding_cache=None,
+                     encoding_scope: str = "") -> List[VerificationResult]:
         """Verify many queries, exploiting cross-query sharing.
 
         ``queries`` is a sequence of :class:`Property` instances or
@@ -283,14 +288,24 @@ class Verifier:
         enables slice-aware planning: queries whose dependency-slice
         hash matches a cached entry replay the stored verdict
         (``result.cached`` is True) instead of being solved.
+
+        ``encoding_cache`` (e.g. :class:`repro.serve.TTLLRUCache`)
+        makes whole group encodings — encoded network plus loaded
+        incremental solver — outlive this call: a later batch over the
+        same groups skips encode entirely.  ``encoding_scope`` prefixes
+        the cache keys (see :meth:`BatchEngine.encoding_cache_key`).
         """
         from .engine import BatchEngine
 
         engine = BatchEngine(self.network, options=self.options,
                              conflict_budget=self.conflict_budget,
                              workers=workers,
-                             verdict_cache=verdict_cache)
-        return engine.run(queries)
+                             verdict_cache=verdict_cache,
+                             encoding_cache=encoding_cache,
+                             encoding_scope=encoding_scope)
+        results = engine.run(queries)
+        self.last_encoding_stats = dict(engine.last_encoding_stats)
+        return results
 
     # ------------------------------------------------------------------
     # Lazy load-balancing loop (linear arithmetic outside the SAT core)

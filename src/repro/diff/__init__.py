@@ -14,6 +14,7 @@ from .differ import (
     DiffError,
     DiffReport,
     QueryDiff,
+    changed_devices,
     diff_networks,
     diff_trees,
 )
@@ -25,6 +26,7 @@ __all__ = [
     "DiffReport",
     "QueryDiff",
     "VerdictCache",
+    "changed_devices",
     "diff_networks",
     "diff_trees",
     "render_text",

@@ -31,6 +31,7 @@ __all__ = [
     "DiffError",
     "DiffReport",
     "QueryDiff",
+    "changed_devices",
     "diff_networks",
     "diff_trees",
 ]

@@ -27,6 +27,7 @@ from __future__ import annotations
 import json
 import logging
 import sys
+import threading
 import time
 import uuid
 import warnings
@@ -38,10 +39,14 @@ __all__ = ["configure", "event", "warn_event", "get_logger",
 _LOGGER = logging.getLogger("repro")
 _LOGGER.addHandler(logging.NullHandler())
 
-#: Correlation id of the current run; module-level (not thread-local)
-#: because one process serves one run today — workers receive it
-#: explicitly at spawn.  None until a run starts.
+#: Process-wide correlation id of the current run; workers receive it
+#: explicitly at spawn.  None until a run starts.  The serve daemon
+#: additionally sets a *thread-scoped* id per request (see
+#: :func:`set_run_id`), which shadows this one on that thread only —
+#: ``ThreadingHTTPServer`` handles concurrent requests on separate
+#: threads, and their records must not share one id.
 _RUN_ID: Optional[str] = None
+_THREAD_RUN = threading.local()
 
 _RESERVED = frozenset(
     ("name", "msg", "args", "levelname", "levelno", "pathname",
@@ -56,13 +61,24 @@ def new_run_id() -> str:
     return uuid.uuid4().hex[:12]
 
 
-def set_run_id(value: Optional[str]) -> None:
+def set_run_id(value: Optional[str], *, thread_only: bool = False) -> None:
+    """Install the current correlation id.
+
+    With ``thread_only`` the id applies to the calling thread alone
+    (and ``None`` clears it, falling back to the process-wide id) —
+    this is how the serve daemon scopes ids to request threads without
+    disturbing concurrent requests.
+    """
+    if thread_only:
+        _THREAD_RUN.value = value
+        return
     global _RUN_ID
     _RUN_ID = value
 
 
 def run_id() -> Optional[str]:
-    return _RUN_ID
+    """The calling thread's id if one is set, else the process-wide."""
+    return getattr(_THREAD_RUN, "value", None) or _RUN_ID
 
 
 class JsonFormatter(logging.Formatter):
@@ -75,7 +91,7 @@ class JsonFormatter(logging.Formatter):
             "level": record.levelname.lower(),
             "logger": record.name,
             "event": getattr(record, "event", record.name),
-            "run_id": getattr(record, "run_id", None) or _RUN_ID,
+            "run_id": getattr(record, "run_id", None) or run_id(),
             "message": record.getMessage(),
         }
         for key, value in record.__dict__.items():

@@ -1,0 +1,23 @@
+"""Verification-as-a-service: the ``repro serve`` daemon.
+
+Long-lived HTTP front end over the batch verifier.  Tenants ingest
+config *snapshots* once; every later query against a warm snapshot
+reuses the parsed network and per-group incremental solvers from a
+shared TTL+LRU cache, skipping parse/build/encode entirely — the
+monolithic encoding becomes a resident service asset instead of a
+per-invocation cost.  See ``docs/SERVING.md``.
+"""
+
+from .cache import TTLLRUCache
+from .registry import Snapshot, SnapshotRegistry
+from .schemas import ApiError
+from .server import ReproServer, make_server
+
+__all__ = [
+    "ApiError",
+    "ReproServer",
+    "Snapshot",
+    "SnapshotRegistry",
+    "TTLLRUCache",
+    "make_server",
+]

@@ -1,0 +1,205 @@
+"""Snapshot registry: identity, tenancy, caching, persistence."""
+
+import pytest
+
+from repro.core import BatchQuery, Verifier, properties as P
+from repro.lang import write_config
+from repro.net import NetworkBuilder
+from repro.serve import SnapshotRegistry, TTLLRUCache
+from repro.serve.schemas import ApiError
+
+
+def build_texts(host_prefix="10.9.0.1/24"):
+    builder = NetworkBuilder()
+    for name in ("R1", "R2", "R3"):
+        dev = builder.device(name)
+        dev.enable_ospf()
+        dev.ospf_network("10.0.0.0/8")
+    builder.link("R1", "R2")
+    builder.link("R2", "R3")
+    builder.link("R1", "R3")
+    builder.device("R3").interface("host", host_prefix)
+    network = builder.build()
+    return {f"{name}.cfg": write_config(network.device(name))
+            for name in network.router_names()}
+
+
+@pytest.fixture()
+def texts():
+    return build_texts()
+
+
+@pytest.fixture()
+def registry():
+    return SnapshotRegistry(cache=TTLLRUCache())
+
+
+def reach(sources="all", label=None):
+    return BatchQuery(
+        prop=P.Reachability(sources=sources,
+                            dest_prefix_text="10.9.0.0/24"),
+        label=label)
+
+
+class TestIngest:
+    def test_snapshot_id_is_content_derived(self, registry, texts):
+        a = registry.ingest("t1", texts, name="a")
+        b = registry.ingest("t1", dict(texts), name="b")
+        assert a.snapshot_id == b.snapshot_id
+        assert len(a.snapshot_id) == 12
+
+    def test_different_content_different_id(self, registry, texts):
+        a = registry.ingest("t1", texts, name="a")
+        b = registry.ingest("t1", build_texts("10.8.0.1/24"), name="b")
+        assert a.snapshot_id != b.snapshot_id
+
+    def test_name_defaults_to_snapshot_id(self, registry, texts):
+        snap = registry.ingest("t1", texts)
+        assert snap.name == snap.snapshot_id
+
+    def test_duplicate_name_conflicts(self, registry, texts):
+        registry.ingest("t1", texts, name="prod")
+        with pytest.raises(ApiError) as err:
+            registry.ingest("t1", texts, name="prod")
+        assert err.value.status == 409
+
+    def test_unparsable_config_is_client_error(self, registry):
+        with pytest.raises(ApiError) as err:
+            registry.ingest("t1", {"r.cfg": "hostname R1\n  ???"})
+        assert err.value.status == 400
+
+    def test_unsafe_filenames_rejected(self, registry, texts):
+        for bad in ("../evil.cfg", "a/b.cfg", ".hidden"):
+            with pytest.raises(ApiError) as err:
+                registry.ingest("t1", {bad: "hostname X"})
+            assert err.value.status == 400
+
+    def test_bad_tenant_rejected(self, registry, texts):
+        with pytest.raises(ApiError):
+            registry.ingest("no/slash", texts)
+
+
+class TestTenancy:
+    def test_same_name_isolated_per_tenant(self, registry, texts):
+        registry.ingest("t1", texts, name="prod")
+        registry.ingest("t2", build_texts("10.8.0.1/24"), name="prod")
+        a = registry.resolve("t1", "prod")
+        b = registry.resolve("t2", "prod")
+        assert a.snapshot_id != b.snapshot_id
+        assert [s.name for s in registry.list("t1")] == ["prod"]
+
+    def test_resolve_never_crosses_tenants(self, registry, texts):
+        snap = registry.ingest("t1", texts, name="prod")
+        with pytest.raises(ApiError) as err:
+            registry.resolve("t2", snap.snapshot_id)
+        assert err.value.status == 404
+
+    def test_cache_keys_carry_tenant_scope(self, registry, texts):
+        snap = registry.ingest("t1", texts, name="prod")
+        registry.verify(snap, [reach()])
+        assert all(key.startswith("t1/") for key in registry.cache.keys())
+
+    def test_delete_drops_derived_state(self, registry, texts):
+        snap = registry.ingest("t1", texts, name="prod")
+        registry.verify(snap, [reach()])
+        registry.delete(snap)
+        assert not any(key.startswith(snap.scope)
+                       for key in registry.cache.keys())
+        with pytest.raises(ApiError):
+            registry.resolve("t1", "prod")
+
+
+class TestVerify:
+    def test_warm_matches_fresh_solver(self, registry, texts):
+        """The tentpole contract: warm-path verdicts are bit-identical
+        to a fresh Verifier solve that never saw any cache."""
+        snap = registry.ingest("t1", texts, name="prod")
+        cold = [reach(label="q1"), reach(sources=["R1"], label="q2")]
+        registry.verify(snap, cold)
+        # Verdict keys are semantic (labels don't count), so the warm
+        # batch needs *different* sources in the same (prefix, k)
+        # group: it must reuse the group encoding, not replay verdicts.
+        warm = [reach(sources=["R3"], label="q3"),
+                reach(sources=["R2"], label="q4")]
+        results, stats = registry.verify(snap, warm)
+        assert stats["hits"] >= 1
+        assert stats["verdicts_replayed"] == 0
+        assert all(r.encode_shared_seconds == 0.0 for r in results)
+
+        from repro.net.loader import network_from_texts
+        fresh = Verifier(network_from_texts(texts),
+                         options=registry.options,
+                         preflight=False).verify_batch(warm)
+        assert [r.holds for r in results] == [r.holds for r in fresh]
+
+    def test_identical_queries_replay_verdicts(self, registry, texts):
+        snap = registry.ingest("t1", texts, name="prod")
+        first, _ = registry.verify(snap, [reach(label="q")])
+        second, stats = registry.verify(snap, [reach(label="q")])
+        assert not first[0].cached
+        assert second[0].cached
+        assert second[0].holds == first[0].holds
+        assert stats["verdicts_replayed"] == 1
+
+    def test_query_counters_accumulate(self, registry, texts):
+        snap = registry.ingest("t1", texts, name="prod")
+        registry.verify(snap, [reach(label="q")])
+        registry.verify(snap, [reach(label="q")])
+        assert snap.queries_run == 2
+        assert snap.replayed == 1
+
+
+class TestRefresh:
+    def test_refresh_is_differential(self, registry, texts):
+        snap = registry.ingest("t1", texts, name="prod")
+        queries = [reach(label="q1"),
+                   BatchQuery(prop=P.Reachability(
+                       sources="all", dest_prefix_text="10.8.0.0/24"),
+                       label="q2")]
+        registry.verify(snap, queries)
+        # Move R3's host interface: only R3's canonical form changes.
+        snap, changes = registry.refresh(
+            snap, build_texts("10.9.0.2/24"))
+        assert changes["changed_devices"] == ["R3"]
+        results, stats = registry.verify(snap, queries)
+        assert all(r.holds is not None for r in results)
+
+    def test_refresh_rescopes_cache(self, registry, texts):
+        snap = registry.ingest("t1", texts, name="prod")
+        registry.verify(snap, [reach()])
+        old_scope = snap.scope
+        new_texts = build_texts("10.8.0.1/24")
+        snap, _ = registry.refresh(snap, new_texts)
+        assert snap.scope != old_scope
+        assert not any(key.startswith(old_scope)
+                       for key in registry.cache.keys())
+
+
+class TestPersistence:
+    def test_snapshots_survive_restart(self, tmp_path, texts):
+        state = str(tmp_path / "serve-state")
+        first = SnapshotRegistry(cache=TTLLRUCache(), state_dir=state)
+        snap = first.ingest("t1", texts, name="prod")
+        first.verify(snap, [reach(label="q")])
+
+        second = SnapshotRegistry(cache=TTLLRUCache(), state_dir=state)
+        restored = second.resolve("t1", "prod")
+        assert restored.snapshot_id == snap.snapshot_id
+        assert restored.texts == texts
+        # Verdict cache was persisted: the same query replays.
+        results, stats = second.verify(restored, [reach(label="q")])
+        assert results[0].cached
+        assert stats["verdicts_replayed"] == 1
+
+    def test_delete_removes_persisted_state(self, tmp_path, texts):
+        state = tmp_path / "serve-state"
+        registry = SnapshotRegistry(cache=TTLLRUCache(),
+                                    state_dir=str(state))
+        snap = registry.ingest("t1", texts, name="prod")
+        assert (state / "tenants" / "t1" / "prod" / "meta.json").exists()
+        registry.delete(snap)
+        assert not (state / "tenants" / "t1" / "prod").exists()
+        fresh = SnapshotRegistry(cache=TTLLRUCache(),
+                                 state_dir=str(state))
+        with pytest.raises(ApiError):
+            fresh.resolve("t1", "prod")

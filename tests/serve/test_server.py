@@ -1,0 +1,251 @@
+"""HTTP surface of the daemon: routing, errors, concurrency, metrics.
+
+The server under test is a real ``ThreadingHTTPServer`` bound to an
+ephemeral port with requests made through ``urllib`` — the same code
+path production traffic takes, minus only the CLI wrapper.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core import Verifier
+from repro.net.loader import network_from_texts
+from repro.obs.ledger import RunLedger
+from repro.obs.promexport import parse_exposition
+from repro.serve import SnapshotRegistry, TTLLRUCache, make_server
+
+from tests.serve.test_registry import build_texts
+
+
+@pytest.fixture()
+def server(tmp_path):
+    registry = SnapshotRegistry(cache=TTLLRUCache())
+    srv = make_server("127.0.0.1", 0, registry,
+                      ledger_path=str(tmp_path / "ledger.sqlite"))
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+    thread.join(timeout=5)
+
+
+def call(server, method, path, body=None, tenant="acme", raw=None):
+    port = server.server_address[1]
+    data = raw if raw is not None else (
+        json.dumps(body).encode() if body is not None else None)
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}", data=data, method=method,
+        headers={"X-Repro-Tenant": tenant})
+    try:
+        with urllib.request.urlopen(request, timeout=60) as resp:
+            return resp.status, json.loads(resp.read()), resp.headers
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read()), err.headers
+
+
+def reach_spec(sources=None, label=None):
+    return {"property": "reachability", "sources": sources,
+            "dest_prefix": "10.9.0.0/24", "label": label}
+
+
+class TestLifecycle:
+    def test_healthz(self, server):
+        status, doc, _ = call(server, "GET", "/healthz")
+        assert status == 200
+        assert doc["status"] == "ok"
+        assert "cache" in doc
+
+    def test_ingest_show_delete(self, server):
+        status, doc, _ = call(server, "POST", "/v1/snapshots",
+                              {"configs": build_texts(), "name": "prod"})
+        assert status == 201
+        sid = doc["snapshot"]["snapshot_id"]
+        assert doc["snapshot"]["routers"] == 3
+
+        for ref in ("prod", sid):
+            status, doc, _ = call(server, "GET", f"/v1/snapshots/{ref}")
+            assert status == 200
+            assert doc["snapshot"]["snapshot_id"] == sid
+
+        status, doc, _ = call(server, "DELETE", "/v1/snapshots/prod")
+        assert status == 200
+        status, _, _ = call(server, "GET", "/v1/snapshots/prod")
+        assert status == 404
+
+    def test_ingest_from_directory(self, server, tmp_path):
+        for name, text in build_texts().items():
+            (tmp_path / name).write_text(text)
+        status, doc, _ = call(server, "POST", "/v1/snapshots",
+                              {"directory": str(tmp_path),
+                               "name": "fromdir"})
+        assert status == 201
+        assert doc["snapshot"]["files"] == 3
+
+    def test_tenant_listing_is_isolated(self, server):
+        call(server, "POST", "/v1/snapshots",
+             {"configs": build_texts(), "name": "prod"}, tenant="t1")
+        status, doc, _ = call(server, "GET", "/v1/snapshots",
+                              tenant="t2")
+        assert status == 200 and doc["snapshots"] == []
+        status, doc, _ = call(server, "GET", "/v1/snapshots",
+                              tenant="t1")
+        assert [s["name"] for s in doc["snapshots"]] == ["prod"]
+
+
+class TestVerifyEndpoints:
+    def test_verify_and_run_id_header(self, server):
+        call(server, "POST", "/v1/snapshots",
+             {"configs": build_texts(), "name": "prod"})
+        status, doc, headers = call(server, "POST",
+                                    "/v1/snapshots/prod/verify",
+                                    reach_spec())
+        assert status == 200
+        assert doc["result"]["holds"] is True
+        assert doc["run_id"] == headers["X-Repro-Run-Id"]
+
+        status, second, headers = call(server, "POST",
+                                       "/v1/snapshots/prod/verify",
+                                       reach_spec())
+        assert second["result"]["cached"] is True
+        assert second["run_id"] != doc["run_id"]
+
+    def test_batch_warm_encoding(self, server):
+        call(server, "POST", "/v1/snapshots",
+             {"configs": build_texts(), "name": "prod"})
+        cold = {"queries": [reach_spec(label="a")]}
+        call(server, "POST", "/v1/snapshots/prod/verify-batch", cold)
+        warm = {"queries": [reach_spec(sources=["R1"], label="b"),
+                            reach_spec(sources=["R2"], label="c")]}
+        status, doc, _ = call(server, "POST",
+                              "/v1/snapshots/prod/verify-batch", warm)
+        assert status == 200
+        assert doc["stats"]["hits"] >= 1
+        assert doc["stats"]["verdicts_replayed"] == 0
+        assert all(r["encode_shared_seconds"] == 0.0
+                   for r in doc["results"])
+
+    def test_refresh_roundtrip(self, server):
+        call(server, "POST", "/v1/snapshots",
+             {"configs": build_texts(), "name": "prod"})
+        status, doc, _ = call(server, "POST",
+                              "/v1/snapshots/prod/refresh",
+                              {"configs": build_texts("10.9.0.2/24")})
+        assert status == 200
+        assert doc["changes"]["changed_devices"] == ["R3"]
+        assert doc["snapshot"]["refreshes"] == 1
+
+    def test_verify_recorded_in_ledger(self, server, tmp_path):
+        call(server, "POST", "/v1/snapshots",
+             {"configs": build_texts(), "name": "prod"})
+        _, doc, _ = call(server, "POST", "/v1/snapshots/prod/verify",
+                         reach_spec())
+        with RunLedger(str(tmp_path / "ledger.sqlite")) as ledger:
+            runs = ledger.runs()
+        assert [r["command"] for r in runs] == ["serve.verify"]
+        assert runs[0]["run_id"] == doc["run_id"]
+        assert runs[0]["extra"]["tenant"] == "acme"
+
+    def test_concurrent_verifies_match_fresh_solves(self, server):
+        texts = build_texts()
+        call(server, "POST", "/v1/snapshots",
+             {"configs": texts, "name": "prod"})
+        sources = [["R1"], ["R2"], ["R3"], None]
+        outcomes = {}
+        errors = []
+
+        def worker(index, source):
+            try:
+                status, doc, _ = call(
+                    server, "POST", "/v1/snapshots/prod/verify",
+                    reach_spec(sources=source, label=f"q{index}"))
+                outcomes[index] = (status, doc["result"]["holds"])
+            except Exception as exc:  # pragma: no cover - debug aid
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i, source))
+                   for i, source in enumerate(sources)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors
+        assert all(status == 200 for status, _ in outcomes.values())
+
+        verifier = Verifier(network_from_texts(texts), preflight=False)
+        from tests.serve.test_registry import reach
+        fresh = verifier.verify_batch(
+            [reach(sources=source or "all") for source in sources])
+        assert ([holds for _, holds in
+                 (outcomes[i] for i in range(len(sources)))]
+                == [r.holds for r in fresh])
+
+
+class TestErrors:
+    def test_malformed_json_is_400(self, server):
+        status, doc, _ = call(server, "POST", "/v1/snapshots",
+                              raw=b"{not json")
+        assert status == 400
+        assert "malformed JSON" in doc["error"]
+
+    def test_missing_body_is_400(self, server):
+        status, _, _ = call(server, "POST", "/v1/snapshots",
+                            raw=b"")
+        assert status == 400
+
+    def test_unknown_snapshot_is_404(self, server):
+        status, doc, _ = call(server, "POST",
+                              "/v1/snapshots/ghost/verify",
+                              reach_spec())
+        assert status == 404
+        assert "ghost" in doc["error"]
+
+    def test_unknown_route_is_404(self, server):
+        status, _, _ = call(server, "GET", "/v1/nope")
+        assert status == 404
+
+    def test_wrong_method_is_405(self, server):
+        status, _, _ = call(server, "DELETE", "/healthz")
+        assert status == 405
+
+    def test_invalid_tenant_is_400(self, server):
+        status, doc, _ = call(server, "GET", "/v1/snapshots",
+                              tenant="bad tenant!")
+        assert status == 400
+        assert "tenant" in doc["error"]
+
+    def test_unknown_property_is_400(self, server):
+        call(server, "POST", "/v1/snapshots",
+             {"configs": build_texts(), "name": "prod"})
+        status, doc, _ = call(server, "POST",
+                              "/v1/snapshots/prod/verify",
+                              {"property": "teleportation"})
+        assert status == 400
+        assert "teleportation" in doc["error"]
+
+    def test_ingest_requires_exactly_one_source(self, server):
+        status, _, _ = call(server, "POST", "/v1/snapshots", {})
+        assert status == 400
+        status, _, _ = call(server, "POST", "/v1/snapshots",
+                            {"configs": {"a.cfg": "hostname A"},
+                             "directory": "/tmp"})
+        assert status == 400
+
+
+class TestMetrics:
+    def test_exposition_parses_and_counts(self, server):
+        call(server, "POST", "/v1/snapshots",
+             {"configs": build_texts(), "name": "prod"})
+        call(server, "POST", "/v1/snapshots/prod/verify", reach_spec())
+        call(server, "POST", "/v1/snapshots/prod/verify", reach_spec())
+        port = server.server_address[1]
+        with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/metrics", timeout=30) as resp:
+            text = resp.read().decode()
+        families = parse_exposition(text)
+        assert "serve_cache_hit_total" in families
+        assert "serve_snapshots_ingested_total" in families

@@ -220,6 +220,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS",
                        help="evict cache entries idle this long "
                             "(default 3600)")
+    serve.add_argument("--allow-local-dirs", default=None, metavar="ROOT",
+                       help="enable {\"directory\": ...} ingest bodies, "
+                            "confined to paths under ROOT (disabled by "
+                            "default: it lets clients read files the "
+                            "daemon can see)")
     serve.add_argument("--no-preprocess", action="store_true",
                        help="disable SAT-level CNF preprocessing")
     serve.add_argument("--log-json", default=None, metavar="FILE",
@@ -838,7 +843,8 @@ def _cmd_serve(args) -> int:
     ledger_path = (None if args.no_ledger
                    else args.ledger or ledgerlib.default_ledger_path())
     server = make_server(args.host, args.port, registry,
-                         ledger_path=ledger_path)
+                         ledger_path=ledger_path,
+                         local_dir_root=args.allow_local_dirs)
     host, port = server.server_address[:2]
     # Parseable startup line: smoke harnesses bind --port 0 and read
     # the chosen port from here.

@@ -83,6 +83,13 @@ class BatchQuery:
 # and identical across groups except for the failure bound.
 _GroupKey = Tuple[Optional[Tuple[int, int]], int]
 
+# A cached GroupEncoding accretes activation-guarded instrumentation
+# clauses with every query it discharges; they are inert for later
+# queries but still occupy the clause DB and slow propagation.  A
+# cached encoding that has discharged this many queries is treated as
+# a miss and rebuilt fresh instead of reused.
+_GROUP_RECYCLE_QUERIES = 256
+
 
 class GroupEncoding:
     """The shared, reusable state of one query group: the encoded
@@ -346,19 +353,22 @@ class BatchEngine:
         digest = options_digest(self._group_options(key))
         return f"{self.encoding_scope}enc/{prefix}/k{k}/{digest}"
 
-    def _cached_group(self, key: _GroupKey
+    def _cached_group(self, key: _GroupKey, ckey: str
                       ) -> Tuple[GroupEncoding, bool]:
         """Fetch (or build and insert) the group's encoding via the
         encoding cache.  Returns ``(group, reused)``: a reused group
         already paid its encode cost in some earlier run, so stats for
         this run's queries attribute zero shared encoding time."""
-        ckey = self.encoding_cache_key(key)
         group = self.encoding_cache.get(ckey)
         metrics = obs.metrics()
         if group is not None:
-            self.last_encoding_stats["hits"] += 1
-            metrics.counter("engine.encoding_cache_hit").inc()
-            return group, True
+            if group.queries_discharged < _GROUP_RECYCLE_QUERIES:
+                self.last_encoding_stats["hits"] += 1
+                metrics.counter("engine.encoding_cache_hit").inc()
+                return group, True
+            # Too much inert per-query instrumentation has piled up in
+            # the shared solver; rebuild rather than keep degrading.
+            metrics.counter("engine.encoding_recycled").inc()
         self.last_encoding_stats["misses"] += 1
         metrics.counter("engine.encoding_cache_miss").inc()
         group = GroupEncoding(self.network, self._group_options(key),
@@ -370,12 +380,21 @@ class BatchEngine:
                    members: List[Tuple[int, BatchQuery]],
                    ) -> Tuple[List[Tuple[int, VerificationResult]],
                               Optional[Dict]]:
-        group, reused = None, False
+        group, reused, ckey = None, False, None
         if self.encoding_cache is not None:
-            group, reused = self._cached_group(key)
-        return _solve_group(self.network, self._group_options(key),
-                            self.conflict_budget, key[0], members,
-                            group=group, group_reused=reused)
+            ckey = self.encoding_cache_key(key)
+            group, reused = self._cached_group(key, ckey)
+        out = _solve_group(self.network, self._group_options(key),
+                           self.conflict_budget, key[0], members,
+                           group=group, group_reused=reused)
+        if group is not None:
+            # This run's queries grew the solver's clause DB; re-insert
+            # with a fresh size estimate so the cache's byte accounting
+            # tracks the entry's real footprint over its lifetime (an
+            # entry grown past the whole budget gets dropped here and
+            # rebuilt fresh by the next request).
+            self.encoding_cache.put(ckey, group, group.cache_size())
+        return out
 
     def _run_parallel(self, groups, results) -> bool:
         """Run groups in a process pool.  Returns False (leaving

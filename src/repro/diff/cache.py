@@ -17,6 +17,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 from typing import Dict, Optional
 
 __all__ = ["VerdictCache"]
@@ -30,11 +31,17 @@ class VerdictCache:
     Records are plain dicts with ``holds`` (bool) and ``message``
     (str).  The cache satisfies the duck-typed interface the batch
     engine expects: ``get(key)`` and ``put(key, record)``.
+
+    Thread-safe: one cache may be shared by concurrent verify
+    requests (the ``repro serve`` daemon is thread-per-request), so
+    lookups, inserts, and the dump in :meth:`save` all serialize on an
+    internal lock.
     """
 
     def __init__(self, path: Optional[str] = None) -> None:
         self.path = path
         self._data: Dict[str, dict] = {}
+        self._lock = threading.Lock()
         self.dirty = False
 
     @classmethod
@@ -64,7 +71,16 @@ class VerdictCache:
         target = path or self.path
         if target is None:
             raise ValueError("no cache path to save to")
-        payload = {"version": _FORMAT_VERSION, "verdicts": self._data}
+        # Snapshot under the lock (records are never mutated in place,
+        # so a shallow copy is a consistent point-in-time view) and
+        # clear ``dirty`` at snapshot time: a concurrent put lands
+        # either in this dump or re-dirties for the next one.
+        with self._lock:
+            payload = {
+                "version": _FORMAT_VERSION,
+                "verdicts": dict(self._data),
+            }
+            self.dirty = False
         directory = os.path.dirname(os.path.abspath(target))
         os.makedirs(directory, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
@@ -73,27 +89,32 @@ class VerdictCache:
                 json.dump(payload, handle, indent=1, sort_keys=True)
             os.replace(tmp, target)
         except BaseException:
+            with self._lock:
+                self.dirty = True
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
             raise
-        self.dirty = False
 
     def get(self, key: str) -> Optional[dict]:
-        return self._data.get(key)
+        with self._lock:
+            return self._data.get(key)
 
     def put(self, key: str, record: dict) -> None:
         if record.get("holds") is None:
             return
-        self._data[key] = {
-            "holds": bool(record["holds"]),
-            "message": record.get("message", ""),
-        }
-        self.dirty = True
+        with self._lock:
+            self._data[key] = {
+                "holds": bool(record["holds"]),
+                "message": record.get("message", ""),
+            }
+            self.dirty = True
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._data
+        with self._lock:
+            return key in self._data

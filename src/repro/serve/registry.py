@@ -26,7 +26,9 @@ snapshots (with warm verdict caches, cold encodings).
 from __future__ import annotations
 
 import json
+import os
 import shutil
+import tempfile
 import threading
 import time
 from dataclasses import dataclass, field
@@ -123,6 +125,11 @@ class SnapshotRegistry:
         self.options = options or EncoderOptions()
         self.state_dir = Path(state_dir) if state_dir else None
         self._lock = threading.Lock()
+        # Serializes on-disk writes (meta, configs, verdicts, delete):
+        # concurrent verify requests against one snapshot otherwise
+        # race on the same files.  Never acquired while holding
+        # ``_lock`` (``_persist`` nests ``_lock`` *inside* it).
+        self._io_lock = threading.Lock()
         self._snapshots: Dict[Tuple[str, str], Snapshot] = {}
         self._verdicts: Dict[Tuple[str, str], VerdictCache] = {}
         if self.state_dir is not None:
@@ -139,17 +146,30 @@ class SnapshotRegistry:
         base = self._snapshot_dir(snap.tenant, snap.name)
         if base is None:
             return
-        configs = base / "configs"
-        configs.mkdir(parents=True, exist_ok=True)
-        for stale in configs.iterdir():
-            if stale.name not in snap.texts:
-                stale.unlink()
-        for filename, text in snap.texts.items():
-            (configs / filename).write_text(text)
-        meta = dict(snap.to_json(), version=_META_VERSION)
-        tmp = base / "meta.json.tmp"
-        tmp.write_text(json.dumps(meta, indent=1, sort_keys=True))
-        tmp.replace(base / "meta.json")
+        with self._io_lock:
+            with self._lock:
+                if self._snapshots.get((snap.tenant, snap.name)) is not snap:
+                    return  # deleted concurrently; do not resurrect on disk
+                meta = dict(snap.to_json(), version=_META_VERSION)
+                texts = snap.texts
+            configs = base / "configs"
+            configs.mkdir(parents=True, exist_ok=True)
+            for stale in configs.iterdir():
+                if stale.name not in texts:
+                    stale.unlink()
+            for filename, text in texts.items():
+                (configs / filename).write_text(text)
+            fd, tmp = tempfile.mkstemp(dir=base, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(meta, handle, indent=1, sort_keys=True)
+                os.replace(tmp, base / "meta.json")
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
 
     def _restore(self) -> None:
         root = self.state_dir / "tenants"
@@ -200,10 +220,16 @@ class SnapshotRegistry:
 
     def _save_verdicts(self, snap: Snapshot) -> None:
         base = self._snapshot_dir(snap.tenant, snap.name)
-        vc = self._verdicts.get((snap.tenant, snap.name))
-        if base is None or vc is None or not vc.dirty:
+        if base is None:
             return
-        vc.save(str(base / "verdicts.json"))
+        with self._io_lock:
+            with self._lock:
+                if self._snapshots.get((snap.tenant, snap.name)) is not snap:
+                    return  # deleted concurrently
+                vc = self._verdicts.get((snap.tenant, snap.name))
+            if vc is None or not vc.dirty:
+                return
+            vc.save(str(base / "verdicts.json"))
 
     # -- lifecycle -------------------------------------------------------
 
@@ -269,9 +295,10 @@ class SnapshotRegistry:
         snapshot plus a device-level change summary."""
         texts = {_safe_filename(k): v for k, v in texts.items()}
         network = self._build(texts)
-        old_network = self.network(snap)
+        with self._lock:
+            old_scope, old_texts = snap.scope, snap.texts
+        old_network = self._network_at(old_scope, old_texts)
         changed, added, removed = changed_devices(old_network, network)
-        old_scope = snap.scope
         with self._lock:
             snap.config_hash = network_hash(network)
             snap.snapshot_id = snap.config_hash[:12]
@@ -306,8 +333,10 @@ class SnapshotRegistry:
             self._verdicts.pop(key, None)
         self.cache.evict_scope(snap.scope)
         base = self._snapshot_dir(snap.tenant, snap.name)
-        if base is not None and base.is_dir():
-            shutil.rmtree(base)
+        if base is not None:
+            with self._io_lock:
+                if base.is_dir():
+                    shutil.rmtree(base)
         log_event(
             "serve.snapshot.deleted",
             tenant=snap.tenant,
@@ -346,14 +375,25 @@ class SnapshotRegistry:
 
     # -- verification ----------------------------------------------------
 
-    def network(self, snap: Snapshot) -> Network:
-        """The snapshot's built network, from cache when warm."""
-        key = snap.scope + "net"
+    def _network_at(self, scope: str, texts: Dict[str, str]) -> Network:
+        """The built network for one captured (scope, texts) revision,
+        from cache when warm.  Scope and texts must come from the same
+        atomic read of the snapshot: the scope is content-addressed
+        (``snapshot_id`` hashes the configs), so a network built from
+        one revision's texts must only ever be cached under that same
+        revision's scope."""
+        key = scope + "net"
         network = self.cache.get(key)
         if network is None:
-            network = self._build(snap.texts)
-            self.cache.put(key, network, _network_size(snap.texts))
+            network = self._build(texts)
+            self.cache.put(key, network, _network_size(texts))
         return network
+
+    def network(self, snap: Snapshot) -> Network:
+        """The snapshot's built network, from cache when warm."""
+        with self._lock:
+            scope, texts = snap.scope, snap.texts
+        return self._network_at(scope, texts)
 
     def verify(self, snap: Snapshot, queries) -> Tuple[List, Dict]:
         """Run a batch against a snapshot through every cache layer.
@@ -363,8 +403,14 @@ class SnapshotRegistry:
         :attr:`BatchEngine.last_encoding_stats`, so concurrent requests
         do not bleed into each other's numbers).
         """
-        network = self.network(snap)
-        verdict_cache = self._verdicts.get((snap.tenant, snap.name))
+        # Capture one consistent revision under the registry lock: a
+        # concurrent refresh() swaps snapshot_id and texts together,
+        # and encodings built from this network must never be cached
+        # under a different revision's scope (stale-verdict poisoning).
+        with self._lock:
+            scope, texts = snap.scope, snap.texts
+            verdict_cache = self._verdicts.get((snap.tenant, snap.name))
+        network = self._network_at(scope, texts)
         # Preflight ran semantically at ingest via parse validation;
         # per-request lint would re-analyze an unchanged network.
         verifier = Verifier(network, options=self.options, preflight=False)
@@ -372,7 +418,7 @@ class SnapshotRegistry:
             queries,
             verdict_cache=verdict_cache,
             encoding_cache=self.cache,
-            encoding_scope=snap.scope,
+            encoding_scope=scope,
         )
         stats = dict(verifier.last_encoding_stats)
         replayed = sum(1 for r in results if r.cached)

@@ -168,10 +168,21 @@ def parse_queries(doc: Any, batch: bool) -> List[BatchQuery]:
     return [query_from_spec(entry, i) for i, entry in enumerate(entries)]
 
 
-def parse_snapshot_body(doc: Any) -> Tuple[Dict[str, str], Optional[str]]:
+def parse_snapshot_body(
+    doc: Any,
+    local_dir_root: Optional[str] = None,
+) -> Tuple[Dict[str, str], Optional[str]]:
     """``(config texts, optional snapshot name)`` from an ingest or
     refresh body: inline ``{"configs": {filename: text}}`` or a
-    server-local ``{"directory": path}``."""
+    server-local ``{"directory": path}``.
+
+    Directory mode is a server-side opt-in: it reads files the *daemon*
+    can see, so an unrestricted form hands any HTTP client a
+    local-file-disclosure primitive (parse errors and verify output
+    echo config contents).  ``local_dir_root`` — ``repro serve
+    --allow-local-dirs ROOT`` — enables it and confines every request
+    to paths under ROOT after symlink resolution; without it the mode
+    answers 403."""
     if not isinstance(doc, dict):
         raise ApiError(400, "request body must be a JSON object")
     name = doc.get("name")
@@ -201,15 +212,35 @@ def parse_snapshot_body(doc: Any) -> Tuple[Dict[str, str], Optional[str]]:
                 "filename -> config text",
             )
         return dict(configs), name
-    base = Path(directory)
+    if not isinstance(directory, str) or not directory:
+        raise ApiError(400, '"directory" must be a non-empty path string')
+    if local_dir_root is None:
+        raise ApiError(
+            403,
+            "directory ingest is disabled; start the server with "
+            "--allow-local-dirs ROOT to enable it",
+        )
+    root = Path(local_dir_root).resolve()
+    requested = Path(directory)
+    if not requested.is_absolute():
+        requested = root / requested
+    base = requested.resolve()
+    if base != root and root not in base.parents:
+        raise ApiError(
+            403,
+            f"directory {directory!r} is outside the allowed root",
+        )
     if not base.is_dir():
         raise ApiError(400, f"not a directory: {directory}")
     suffixes = (".cfg", ".conf", ".txt")
-    texts = {
-        entry.name: entry.read_text()
-        for entry in sorted(base.iterdir())
-        if entry.suffix.lower() in suffixes and entry.is_file()
-    }
+    texts = {}
+    for entry in sorted(base.iterdir()):
+        if entry.suffix.lower() not in suffixes or not entry.is_file():
+            continue
+        # A symlink inside the root must not read a file outside it.
+        if root not in entry.resolve().parents:
+            continue
+        texts[entry.name] = entry.read_text()
     if not texts:
         raise ApiError(400, f"no config files in {directory}")
     return texts, name

@@ -72,10 +72,17 @@ class ReproServer(ThreadingHTTPServer):
         address: Tuple[str, int],
         registry: SnapshotRegistry,
         ledger_path: Optional[str] = None,
+        local_dir_root: Optional[str] = None,
     ) -> None:
         super().__init__(address, _Handler)
         self.registry = registry
         self.ledger_path = ledger_path
+        # Server-side opt-in for {"directory": ...} ingest bodies: the
+        # root below which clients may point the daemon at config
+        # trees.  None (the default) disables directory ingest — an
+        # unrestricted form would let any client read server-local
+        # files into a snapshot.
+        self.local_dir_root = local_dir_root
         self.started = time.time()
         self.requests_served = 0
         self._ledger_lock = threading.Lock()
@@ -140,10 +147,39 @@ class _Handler(BaseHTTPRequestHandler):
         if length > _MAX_BODY:
             raise ApiError(413, f"body exceeds {_MAX_BODY} bytes")
         raw = self.rfile.read(length)
+        self._body_consumed = True
         try:
             return json.loads(raw)
         except json.JSONDecodeError as exc:
             raise ApiError(400, f"malformed JSON body: {exc}") from exc
+
+    def _drain_body(self) -> bool:
+        """Consume any unread request body so the HTTP/1.1 keep-alive
+        connection stays framed: a handler that errors before reading
+        the body (404 on resolve, 405 routing) would otherwise leave
+        the bytes to be parsed as the *next* request.  Returns False
+        when draining is impossible (oversized, bad framing) — the
+        caller must then close the connection instead of reusing it."""
+        if self._body_consumed:
+            return True
+        if self.headers.get("Transfer-Encoding"):
+            return False  # chunked framing is never parsed here
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            return False
+        if length <= 0:
+            return True
+        if length > _MAX_BODY:
+            return False
+        remaining = length
+        while remaining > 0:
+            chunk = self.rfile.read(min(remaining, 64 * 1024))
+            if not chunk:
+                return False
+            remaining -= len(chunk)
+        self._body_consumed = True
+        return True
 
     def _reply(
         self,
@@ -152,24 +188,35 @@ class _Handler(BaseHTTPRequestHandler):
         run_id: Optional[str] = None,
     ) -> None:
         payload = json.dumps(doc, sort_keys=True).encode()
+        keep_alive = self._drain_body()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(payload)))
         if run_id:
             self.send_header("X-Repro-Run-Id", run_id)
+        if not keep_alive:
+            self.send_header("Connection", "close")
+            self.close_connection = True
         self.end_headers()
         self.wfile.write(payload)
 
     def _reply_text(self, status: int, text: str, content_type: str) -> None:
         payload = text.encode()
+        keep_alive = self._drain_body()
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(payload)))
+        if not keep_alive:
+            self.send_header("Connection", "close")
+            self.close_connection = True
         self.end_headers()
         self.wfile.write(payload)
 
     def _dispatch(self, method: str) -> None:
         self.server.count_request()
+        # Per-request state; the handler instance is reused across
+        # requests on one keep-alive connection.
+        self._body_consumed = False
         started = time.time()
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
         try:
@@ -273,7 +320,10 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _ingest(self) -> int:
         tenant = self._tenant()
-        texts, name = parse_snapshot_body(self._read_body())
+        texts, name = parse_snapshot_body(
+            self._read_body(),
+            local_dir_root=self.server.local_dir_root,
+        )
         snap = self.server.registry.ingest(tenant, texts, name=name)
         self._reply(201, {"snapshot": snap.to_json()})
         return 201
@@ -295,7 +345,10 @@ class _Handler(BaseHTTPRequestHandler):
         set_run_id(run_id, thread_only=True)
         registry = self.server.registry
         snap = registry.resolve(self._tenant(), ref)
-        texts, _ = parse_snapshot_body(self._read_body())
+        texts, _ = parse_snapshot_body(
+            self._read_body(),
+            local_dir_root=self.server.local_dir_root,
+        )
         snap, changes = registry.refresh(snap, texts)
         self._reply(
             200,
@@ -348,6 +401,12 @@ def make_server(
     port: int,
     registry: SnapshotRegistry,
     ledger_path: Optional[str] = None,
+    local_dir_root: Optional[str] = None,
 ) -> ReproServer:
     """Bind a :class:`ReproServer` (port 0 picks a free port)."""
-    return ReproServer((host, port), registry, ledger_path=ledger_path)
+    return ReproServer(
+        (host, port),
+        registry,
+        ledger_path=ledger_path,
+        local_dir_root=local_dir_root,
+    )

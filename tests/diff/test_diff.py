@@ -105,6 +105,41 @@ def test_cache_save_requires_a_path():
         VerdictCache().save()
 
 
+def test_cache_concurrent_puts_and_saves(tmp_path):
+    """One cache is shared by the serve daemon's request threads:
+    put() mutating while save() dumps must not corrupt or crash."""
+    import threading
+
+    path = tmp_path / "cache.json"
+    cache = VerdictCache(str(path))
+    errors = []
+
+    def writer(worker):
+        try:
+            for i in range(400):
+                cache.put(f"w{worker}-{i}", {"holds": True, "message": ""})
+        except Exception as exc:  # pragma: no cover - failure detail
+            errors.append(exc)
+
+    def saver():
+        try:
+            for _ in range(40):
+                cache.save()
+        except Exception as exc:  # pragma: no cover - failure detail
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer, args=(w,)) for w in range(3)]
+    threads += [threading.Thread(target=saver) for _ in range(2)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    assert not errors
+    cache.save()
+    loaded = VerdictCache.load(str(path))
+    assert len(loaded) == 3 * 400
+
+
 # ----------------------------------------------------------------------
 # Differ soundness on a pods-2 fat-tree
 # ----------------------------------------------------------------------

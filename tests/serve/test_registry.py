@@ -164,6 +164,32 @@ class TestRefresh:
         results, stats = registry.verify(snap, queries)
         assert all(r.holds is not None for r in results)
 
+    def test_refresh_during_verify_never_poisons_new_scope(
+            self, registry, texts, monkeypatch):
+        """A refresh landing mid-verify must not let encodings built
+        from the pre-refresh network be cached under the post-refresh
+        scope (they would serve stale verdicts to warm requests)."""
+        snap = registry.ingest("t1", texts, name="prod")
+        old_scope = snap.scope
+        new_texts = build_texts("10.8.0.1/24")
+        real_init = Verifier.__init__
+        raced = []
+
+        def racing_init(self, network, **kwargs):
+            # Interleave a refresh between verify()'s network fetch
+            # and its use of the snapshot's scope.
+            if not raced:
+                raced.append(True)
+                registry.refresh(snap, new_texts)
+            real_init(self, network, **kwargs)
+
+        monkeypatch.setattr(Verifier, "__init__", racing_init)
+        results, _ = registry.verify(snap, [reach()])
+        assert results[0].holds is not None
+        assert snap.scope != old_scope
+        assert not any(key.startswith(snap.scope + "enc/")
+                       for key in registry.cache.keys())
+
     def test_refresh_rescopes_cache(self, registry, texts):
         snap = registry.ingest("t1", texts, name="prod")
         registry.verify(snap, [reach()])

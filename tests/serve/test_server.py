@@ -22,16 +22,29 @@ from tests.serve.test_registry import build_texts
 
 
 @pytest.fixture()
-def server(tmp_path):
-    registry = SnapshotRegistry(cache=TTLLRUCache())
-    srv = make_server("127.0.0.1", 0, registry,
-                      ledger_path=str(tmp_path / "ledger.sqlite"))
-    thread = threading.Thread(target=srv.serve_forever, daemon=True)
-    thread.start()
-    yield srv
-    srv.shutdown()
-    srv.server_close()
-    thread.join(timeout=5)
+def start_server(tmp_path):
+    started = []
+
+    def start(**kwargs):
+        registry = SnapshotRegistry(cache=TTLLRUCache())
+        srv = make_server("127.0.0.1", 0, registry,
+                          ledger_path=str(tmp_path / "ledger.sqlite"),
+                          **kwargs)
+        thread = threading.Thread(target=srv.serve_forever, daemon=True)
+        thread.start()
+        started.append((srv, thread))
+        return srv
+
+    yield start
+    for srv, thread in started:
+        srv.shutdown()
+        srv.server_close()
+        thread.join(timeout=5)
+
+
+@pytest.fixture()
+def server(start_server):
+    return start_server()
 
 
 def call(server, method, path, body=None, tenant="acme", raw=None):
@@ -77,14 +90,37 @@ class TestLifecycle:
         status, _, _ = call(server, "GET", "/v1/snapshots/prod")
         assert status == 404
 
-    def test_ingest_from_directory(self, server, tmp_path):
+    def test_ingest_from_directory(self, start_server, tmp_path):
+        configs = tmp_path / "configs"
+        configs.mkdir()
         for name, text in build_texts().items():
-            (tmp_path / name).write_text(text)
+            (configs / name).write_text(text)
+        server = start_server(local_dir_root=str(tmp_path))
+        # Absolute path under the root and root-relative both work.
+        for ref, body_dir in (("fromdir", str(configs)),
+                              ("fromrel", "configs")):
+            status, doc, _ = call(server, "POST", "/v1/snapshots",
+                                  {"directory": body_dir, "name": ref})
+            assert status == 201
+            assert doc["snapshot"]["files"] == 3
+
+    def test_directory_ingest_disabled_by_default(self, server, tmp_path):
         status, doc, _ = call(server, "POST", "/v1/snapshots",
                               {"directory": str(tmp_path),
                                "name": "fromdir"})
-        assert status == 201
-        assert doc["snapshot"]["files"] == 3
+        assert status == 403
+        assert "--allow-local-dirs" in doc["error"]
+
+    def test_directory_escape_rejected(self, start_server, tmp_path):
+        root = tmp_path / "root"
+        root.mkdir()
+        (tmp_path / "secret.cfg").write_text("hostname LEAK")
+        server = start_server(local_dir_root=str(root))
+        for escape in (str(tmp_path), "../", "/etc"):
+            status, doc, _ = call(server, "POST", "/v1/snapshots",
+                                  {"directory": escape, "name": "evil"})
+            assert status == 403
+            assert "outside the allowed root" in doc["error"]
 
     def test_tenant_listing_is_isolated(self, server):
         call(server, "POST", "/v1/snapshots",
@@ -196,6 +232,30 @@ class TestErrors:
         status, _, _ = call(server, "POST", "/v1/snapshots",
                             raw=b"")
         assert status == 400
+
+    def test_keepalive_survives_error_with_unread_body(self, server):
+        # resolve() 404s before the handler reads the POST body; the
+        # server must drain it or the bytes get parsed as the next
+        # request on the persistent connection.
+        import http.client
+
+        port = server.server_address[1]
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+        try:
+            body = json.dumps(reach_spec()).encode()
+            for _ in range(2):  # two bad requests back to back
+                conn.request("POST", "/v1/snapshots/ghost/verify",
+                             body=body,
+                             headers={"X-Repro-Tenant": "acme"})
+                resp = conn.getresponse()
+                assert resp.status == 404
+                resp.read()
+            conn.request("GET", "/healthz")
+            resp = conn.getresponse()
+            assert resp.status == 200
+            assert json.loads(resp.read())["status"] == "ok"
+        finally:
+            conn.close()
 
     def test_unknown_snapshot_is_404(self, server):
         status, doc, _ = call(server, "POST",
